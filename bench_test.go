@@ -1,0 +1,388 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the same code path as the cmd/ binaries at a reduced
+// scale (absolute numbers are not the target — the JoinAll/NoJoin/NoFK
+// orderings and tuple-ratio crossovers are) and reports the key findings as
+// benchmark metrics. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Environment knobs (all optional): REPRO_SCALE (default 256),
+// REPRO_RUNS (default 3), REPRO_SVMCAP (default 150).
+package main
+
+import (
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/sim"
+	"repro/internal/svm"
+	"repro/internal/tree"
+)
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Scale:  envInt("REPRO_SCALE", 256),
+		Effort: core.EffortFast,
+		SVMCap: envInt("REPRO_SVMCAP", 150),
+		Runs:   envInt("REPRO_RUNS", 3),
+		Seed:   1,
+		Out:    io.Discard,
+	}
+}
+
+// BenchmarkTable1Stats regenerates the dataset statistics table.
+func BenchmarkTable1Stats(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		stats, err := experiments.Table1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats) != 7 {
+			b.Fatal("expected 7 datasets")
+		}
+	}
+}
+
+// BenchmarkTable2Trees regenerates the trees + 1-NN accuracy table and
+// reports the mean |JoinAll − NoJoin| gap for the gini tree — the paper's
+// headline "< 1%" finding.
+func BenchmarkTable2Trees(b *testing.B) {
+	o := benchOptions()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = meanViewGap(cells, "DecisionTree(gini)")
+	}
+	b.ReportMetric(gap, "gini-join-gap")
+}
+
+// BenchmarkTable3Kernel regenerates the SVM/ANN/NB/LR accuracy table and
+// reports the RBF-SVM JoinAll−NoJoin gap.
+func BenchmarkTable3Kernel(b *testing.B) {
+	o := benchOptions()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Table3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = meanViewGap(cells, "SVM(rbf)")
+	}
+	b.ReportMetric(gap, "rbf-join-gap")
+}
+
+// meanViewGap averages JoinAll − NoJoin test accuracy over datasets for one
+// model.
+func meanViewGap(cells []experiments.AccuracyCell, model string) float64 {
+	byDS := map[string]map[ml.View]float64{}
+	for _, c := range cells {
+		if c.Model != model {
+			continue
+		}
+		if byDS[c.Dataset] == nil {
+			byDS[c.Dataset] = map[ml.View]float64{}
+		}
+		byDS[c.Dataset][c.View] = c.TestAcc
+	}
+	sum, n := 0.0, 0
+	for _, views := range byDS {
+		sum += math.Abs(views[ml.JoinAll] - views[ml.NoJoin])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BenchmarkTable4Robustness regenerates the dimension-dropping sweep.
+func BenchmarkTable4Robustness(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatal("expected 7 datasets")
+		}
+	}
+}
+
+// BenchmarkTable5And6Training regenerates the training-accuracy companions.
+func BenchmarkTable5And6Training(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t2, err := experiments.Table2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.Table5(o, t2); err != nil {
+			b.Fatal(err)
+		}
+		t3, err := experiments.Table3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.Table6(o, t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1Runtime regenerates the runtime study and reports the
+// median NoJoin speedup across (model, dataset) pairs.
+func BenchmarkFigure1Runtime(b *testing.B) {
+	o := benchOptions()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum, n := 0.0, 0
+		for _, r := range rows {
+			if s := r.Speedup(); s > 0 {
+				sum += s
+				n++
+			}
+		}
+		speedup = sum / float64(n)
+	}
+	b.ReportMetric(speedup, "mean-nojoin-speedup")
+}
+
+// BenchmarkFigure2OneXr regenerates the six OneXr panels.
+func BenchmarkFigure2OneXr(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure2(o, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 6 {
+			b.Fatal("expected panels A-F")
+		}
+	}
+}
+
+// BenchmarkFigure3And4NetVariance regenerates the 1-NN / RBF-SVM nR sweeps
+// with their net-variance series.
+func BenchmarkFigure3And4NetVariance(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure3And4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 2 {
+			b.Fatal("expected 1-NN and RBF panels")
+		}
+	}
+}
+
+// BenchmarkFigure5Skew regenerates the FK-skew panels.
+func BenchmarkFigure5Skew(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 4 {
+			b.Fatal("expected panels A-D")
+		}
+	}
+}
+
+// BenchmarkFigure6XSXR regenerates the XSXR panels.
+func BenchmarkFigure6XSXR(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 4 {
+			b.Fatal("expected panels A-D")
+		}
+	}
+}
+
+// BenchmarkFigures7to9RepOneXr regenerates the RepOneXr sweeps for all
+// three models.
+func BenchmarkFigures7to9RepOneXr(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figures7to9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 6 {
+			b.Fatal("expected 3 figures × 2 tuple ratios")
+		}
+	}
+}
+
+// BenchmarkFigure10Compression regenerates the FK domain-compression study.
+func BenchmarkFigure10Compression(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure10(o, []int{2, 5, 10, 25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 2 {
+			b.Fatal("expected Flights and Yelp")
+		}
+	}
+}
+
+// BenchmarkFigure11Smoothing regenerates the FK smoothing study.
+func BenchmarkFigure11Smoothing(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure11(o, []float64{0, 0.5, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 2 {
+			b.Fatal("expected random and xr strategies")
+		}
+	}
+}
+
+// --- Ablation benches for the design decisions DESIGN.md calls out. ---
+
+// BenchmarkAblationKernelMatchCount compares the match-count RBF kernel
+// against an explicit one-hot dot-product implementation on identical rows.
+func BenchmarkAblationKernelMatchCount(b *testing.B) {
+	feats := make([]ml.Feature, 12)
+	for i := range feats {
+		feats[i] = ml.Feature{Name: "f", Cardinality: 64}
+	}
+	enc := ml.NewEncoder(feats)
+	rowA := make([]int32, len(feats))
+	rowB := make([]int32, len(feats))
+	for i := range rowA {
+		rowA[i] = int32(i * 5 % 64)
+		rowB[i] = int32(i * 3 % 64)
+	}
+	k, err := svm.NewKernel(svm.RBF, 0.1, len(feats))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("match-count", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += k.Eval(rowA, rowB)
+		}
+		_ = sink
+	})
+	b.Run("explicit-one-hot", func(b *testing.B) {
+		va := make([]float64, enc.Dims)
+		vb := make([]float64, enc.Dims)
+		for j, v := range rowA {
+			va[enc.Index(j, v)] = 1
+		}
+		for j, v := range rowB {
+			vb[enc.Index(j, v)] = 1
+		}
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sq := 0.0
+			for d := 0; d < enc.Dims; d++ {
+				diff := va[d] - vb[d]
+				sq += diff * diff
+			}
+			sink += math.Exp(-0.1 * sq)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblationTreeSplit measures tree fitting on a large-domain FK
+// (the sort-based optimal binary partition) vs a small-domain feature set,
+// isolating the cost of wide categorical splits.
+func BenchmarkAblationTreeSplit(b *testing.B) {
+	mk := func(card int) *ml.Dataset {
+		ds := &ml.Dataset{Features: []ml.Feature{
+			{Name: "FK", Cardinality: card, IsFK: true},
+			{Name: "x", Cardinality: 4},
+		}}
+		for i := 0; i < 4000; i++ {
+			fk := int32(i % card)
+			ds.X = append(ds.X, fk, int32(i%4))
+			ds.Y = append(ds.Y, int8(fk%2))
+		}
+		return ds
+	}
+	for _, card := range []int{16, 256, 2048} {
+		ds := mk(card)
+		b.Run("card="+strconv.Itoa(card), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := tree.New(tree.Config{Criterion: tree.Gini, MinSplit: 10, CP: 1e-3})
+				if err := tr.Fit(ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartialJoin measures the §5.2 partial-join trade-off
+// sweep (the extension experiment DESIGN.md calls out): accuracy as foreign
+// features are added back one at a time.
+func BenchmarkAblationPartialJoin(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		curve, err := experiments.PartialJoinTradeoff(o, "Yelp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curve.Points) < 2 {
+			b.Fatal("trade-off curve too short")
+		}
+	}
+}
+
+// BenchmarkAblationParallelMonteCarlo measures the worker-pool Monte-Carlo
+// harness throughput at the ambient GOMAXPROCS (runs are pre-split RNG
+// streams, so the result is identical to a sequential execution).
+func BenchmarkAblationParallelMonteCarlo(b *testing.B) {
+	sc, err := sim.NewOneXr(500, 40, 4, 4, 0.1, 2, sim.Skew{}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	learner := sim.Learner{
+		Name: "tree",
+		Train: func(train, val *ml.Dataset, seed uint64) (ml.Classifier, error) {
+			tr := tree.New(tree.Config{Criterion: tree.Gini, MinSplit: 10, CP: 1e-3})
+			return tr, tr.Fit(train)
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MonteCarlo(sc, learner, 4, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

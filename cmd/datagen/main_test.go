@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	cases := [][]string{
+		{},                                  // nothing to do
+		{"-dataset", "nope"},                // unknown dataset
+		{"-dataset", "Yelp", "-scale", "0"}, // invalid scale
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v must error", args)
+		}
+	}
+}
+
+func TestListDoesNotWrite(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratesCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "Walmart", "-scale", "1024", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fact + 2 dimension tables.
+	if len(entries) != 3 {
+		t.Fatalf("want 3 CSV files, got %d", len(entries))
+	}
+	foundFact := false
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".csv") {
+			t.Fatalf("non-CSV output %q", e.Name())
+		}
+		if e.Name() == "Walmart_Walmart.csv" {
+			foundFact = true
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			head := strings.SplitN(string(data), "\n", 2)[0]
+			if !strings.HasPrefix(head, "Y,") {
+				t.Fatalf("fact CSV header = %q", head)
+			}
+		}
+	}
+	if !foundFact {
+		t.Fatal("fact table CSV missing")
+	}
+}

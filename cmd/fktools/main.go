@@ -1,0 +1,103 @@
+// Command fktools regenerates the paper's §6 foreign-key practicality
+// experiments: Figure 10 (lossy FK domain compression on Flights and Yelp,
+// random hashing vs. the supervised sort-based method) and Figure 11 (FK
+// smoothing of values unseen in training: random reassignment vs. the
+// X_R-based minimum-l0 reassignment).
+//
+// Usage:
+//
+//	fktools -figure 10 [-budgets 2,5,10,25,50] [-scale 64]
+//	fktools -figure 11 [-gammas 0,0.25,0.5,0.75,0.9] [-runs 10]
+//	fktools -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fktools:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fktools", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "figure to regenerate (10 or 11)")
+	all := fs.Bool("all", false, "regenerate both figures")
+	budgets := fs.String("budgets", "", "comma-separated compression budgets for figure 10")
+	gammas := fs.String("gammas", "", "comma-separated unseen-FK fractions for figure 11")
+	scale := fs.Int("scale", 64, "dataset scale divisor (figure 10)")
+	runs := fs.Int("runs", 10, "Monte-Carlo runs (figure 11)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Out: os.Stdout}
+
+	bl, err := parseInts(*budgets)
+	if err != nil {
+		return fmt.Errorf("-budgets: %w", err)
+	}
+	gl, err := parseFloats(*gammas)
+	if err != nil {
+		return fmt.Errorf("-gammas: %w", err)
+	}
+
+	if *all {
+		if _, err := experiments.Figure10(o, bl); err != nil {
+			return err
+		}
+		fmt.Println()
+		_, err := experiments.Figure11(o, gl)
+		return err
+	}
+	switch *figure {
+	case 10:
+		_, err := experiments.Figure10(o, bl)
+		return err
+	case 11:
+		_, err := experiments.Figure11(o, gl)
+		return err
+	default:
+		return fmt.Errorf("nothing to do: pass -figure 10, -figure 11, or -all")
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	cases := [][]string{
+		{},                  // nothing to do
+		{"-figure", "9"},    // only 10 and 11 live here
+		{"-budgets", "a,b"}, // unparsable ints
+		{"-figure", "10", "-budgets", "x"},
+		{"-figure", "11", "-gammas", "x"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v must error", args)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	ints, err := parseInts("2, 5,10")
+	if err != nil || len(ints) != 3 || ints[2] != 10 {
+		t.Fatalf("parseInts = %v, %v", ints, err)
+	}
+	floats, err := parseFloats("0.5,0.9")
+	if err != nil || len(floats) != 2 || floats[1] != 0.9 {
+		t.Fatalf("parseFloats = %v, %v", floats, err)
+	}
+	if got, err := parseInts(""); got != nil || err != nil {
+		t.Fatal("empty string must yield nil, nil")
+	}
+}

@@ -1,0 +1,146 @@
+// Command hamlet regenerates the paper's real-data experiments: Table 1
+// (dataset statistics), Tables 2–3 (holdout test accuracy), Table 4
+// (robustness to discarding dimension tables), Tables 5–6 (training
+// accuracy), and Figure 1 (end-to-end runtimes).
+//
+// Usage:
+//
+//	hamlet -table 2 [-scale 64] [-effort fast|full] [-svmcap 400] [-seed 1]
+//	hamlet -figure 1
+//	hamlet -all
+//
+// Scale divides every dataset cardinality so the whole study runs on one
+// core; tuple ratios — the quantity the paper's findings depend on — are
+// preserved at every scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hamlet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hamlet", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table to regenerate (1-6)")
+	figure := fs.Int("figure", 0, "figure to regenerate (1)")
+	all := fs.Bool("all", false, "regenerate every table and Figure 1")
+	scale := fs.Int("scale", 64, "divide dataset cardinalities by this factor")
+	effort := fs.String("effort", "fast", "hyper-parameter grids: fast or full (paper-exact)")
+	svmCap := fs.Int("svmcap", 400, "SMO training-set cap (0 = unbounded)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	csvOut := fs.String("csv", "", "also export accuracy cells (tables 2/3/5/6) as CSV to this path")
+	jsonOut := fs.String("json", "", "also export accuracy cells as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := experiments.Options{
+		Scale:  *scale,
+		SVMCap: *svmCap,
+		Seed:   *seed,
+		Out:    os.Stdout,
+	}
+	switch *effort {
+	case "fast":
+		o.Effort = core.EffortFast
+	case "full":
+		o.Effort = core.EffortFull
+	default:
+		return fmt.Errorf("unknown effort %q (want fast or full)", *effort)
+	}
+
+	export := func(cells []experiments.AccuracyCell) error {
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := report.WriteAccuracyCSV(f, cells); err != nil {
+				return err
+			}
+		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := report.WriteJSON(f, report.Bundle{Cells: cells}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if *all {
+		var allCells []experiments.AccuracyCell
+		for _, t := range []int{1, 2, 3, 4, 5, 6} {
+			cells, err := runTable(t, o)
+			if err != nil {
+				return err
+			}
+			allCells = append(allCells, cells...)
+			fmt.Println()
+		}
+		if _, err := experiments.Figure1(o); err != nil {
+			return err
+		}
+		return export(allCells)
+	}
+	if *table > 0 {
+		cells, err := runTable(*table, o)
+		if err != nil {
+			return err
+		}
+		return export(cells)
+	}
+	if *figure == 1 {
+		_, err := experiments.Figure1(o)
+		return err
+	}
+	return fmt.Errorf("nothing to do: pass -table N, -figure 1, or -all")
+}
+
+// runTable renders one table and returns its accuracy cells where the table
+// has them (Table 1's stats and Table 4's sweep rows export nothing).
+func runTable(t int, o experiments.Options) ([]experiments.AccuracyCell, error) {
+	switch t {
+	case 1:
+		_, err := experiments.Table1(o)
+		return nil, err
+	case 2:
+		return experiments.Table2(o)
+	case 3:
+		return experiments.Table3(o)
+	case 4:
+		_, err := experiments.Table4(o)
+		return nil, err
+	case 5:
+		cells, err := experiments.Table2(o)
+		if err != nil {
+			return nil, err
+		}
+		return cells, experiments.Table5(o, cells)
+	case 6:
+		cells, err := experiments.Table3(o)
+		if err != nil {
+			return nil, err
+		}
+		return cells, experiments.Table6(o, cells)
+	default:
+		return nil, fmt.Errorf("unknown table %d (want 1-6)", t)
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	cases := [][]string{
+		{},                   // nothing to do
+		{"-table", "9"},      // unknown table
+		{"-effort", "bogus"}, // unknown effort
+		{"-figure", "3"},     // only figure 1 lives here
+		{"-unknown-flag"},    // flag parse error
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v must error", args)
+		}
+	}
+}

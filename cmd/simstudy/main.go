@@ -1,0 +1,100 @@
+// Command simstudy regenerates the paper's Monte-Carlo simulation study:
+// Figure 2 (OneXr panels A–F, gini tree), Figures 3–4 (OneXr n_R sweep with
+// test error and net variance for 1-NN and RBF-SVM), Figure 5 (foreign-key
+// skew), Figure 6 (XSXR), and Figures 7–9 (RepOneXr for tree / RBF-SVM /
+// 1-NN).
+//
+// Usage:
+//
+//	simstudy -figure 2 [-panels A,B] [-runs 10] [-seed 1]
+//	simstudy -figure 5
+//	simstudy -all
+//
+// The paper averages 100 runs per point; -runs trades precision for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simstudy", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "figure to regenerate (2-9; 3 and 4 run together, as do 7-9)")
+	linearOnly := fs.Bool("linear", false, "run the prior-work linear-model contrast sweep")
+	all := fs.Bool("all", false, "regenerate every simulation figure")
+	panels := fs.String("panels", "", "comma-separated panel letters for figure 2 (default all)")
+	runs := fs.Int("runs", 10, "Monte-Carlo runs per point (paper: 100)")
+	svmCap := fs.Int("svmcap", 400, "SMO training-set cap")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := experiments.Options{
+		Runs:   *runs,
+		SVMCap: *svmCap,
+		Seed:   *seed,
+		Out:    os.Stdout,
+	}
+	var panelList []string
+	if *panels != "" {
+		for _, p := range strings.Split(*panels, ",") {
+			panelList = append(panelList, strings.ToUpper(strings.TrimSpace(p)))
+		}
+	}
+
+	runFig := func(f int) error {
+		switch f {
+		case 0:
+			// -linear: prior-work contrast (no paper figure number).
+			_, err := experiments.LinearBaseline(o)
+			return err
+		case 2:
+			_, err := experiments.Figure2(o, panelList)
+			return err
+		case 3, 4:
+			_, err := experiments.Figure3And4(o)
+			return err
+		case 5:
+			_, err := experiments.Figure5(o)
+			return err
+		case 6:
+			_, err := experiments.Figure6(o)
+			return err
+		case 7, 8, 9:
+			_, err := experiments.Figures7to9(o)
+			return err
+		default:
+			return fmt.Errorf("unknown figure %d (want 2-9)", f)
+		}
+	}
+
+	if *all {
+		for _, f := range []int{2, 3, 5, 6, 7, 0} {
+			if err := runFig(f); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	if *linearOnly {
+		return runFig(0)
+	}
+	if *figure == 0 {
+		return fmt.Errorf("nothing to do: pass -figure N, -linear, or -all")
+	}
+	return runFig(*figure)
+}

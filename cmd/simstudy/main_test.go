@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadArguments(t *testing.T) {
+	cases := [][]string{
+		{},               // nothing to do
+		{"-figure", "1"}, // figure 1 lives in hamlet
+		{"-figure", "12"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v must error", args)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package ann
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+func feats(cards ...int) []ml.Feature {
+	out := make([]ml.Feature, len(cards))
+	for i, c := range cards {
+		out[i] = ml.Feature{Name: "f", Cardinality: c}
+	}
+	return out
+}
+
+// smallCfg uses a reduced network so tests stay fast; the architecture is
+// still two ReLU layers + sigmoid output, as in the paper.
+func smallCfg(seed uint64) Config {
+	return Config{Hidden1: 16, Hidden2: 8, LearningRate: 1e-2, Epochs: 40, BatchSize: 16, Seed: seed}
+}
+
+func TestFitRejectsEmpty(t *testing.T) {
+	if err := New(smallCfg(1)).Fit(&ml.Dataset{Features: feats(2)}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLearnsLinearSignal(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2, 3)}
+	r := rng.New(2)
+	for i := 0; i < 400; i++ {
+		x0 := relational.Value(r.Intn(2))
+		ds.X = append(ds.X, x0, relational.Value(r.Intn(3)))
+		ds.Y = append(ds.Y, int8(x0))
+	}
+	m := New(smallCfg(3))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(m, ds); acc < 0.99 {
+		t.Fatalf("separable accuracy %v, want ~1", acc)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2, 2)}
+	pts := [][]relational.Value{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []int8{0, 1, 1, 0}
+	for rep := 0; rep < 40; rep++ {
+		for i, p := range pts {
+			ds.X = append(ds.X, p...)
+			ds.Y = append(ds.Y, ys[i])
+		}
+	}
+	m := New(smallCfg(5))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(m, ds); acc != 1.0 {
+		t.Fatalf("XOR accuracy %v, want 1.0", acc)
+	}
+}
+
+func TestFKMemorization(t *testing.T) {
+	// The mechanism behind the paper's ANN result: the net can memorize a
+	// moderate FK domain through its embedding-like first layer.
+	r := rng.New(7)
+	const nR = 30
+	labelOf := make([]int8, nR)
+	for i := range labelOf {
+		labelOf[i] = int8(r.Intn(2))
+	}
+	labelOf[0], labelOf[1] = 0, 1
+	ds := &ml.Dataset{Features: []ml.Feature{{Name: "FK", Cardinality: nR, IsFK: true}}}
+	for i := 0; i < nR*10; i++ {
+		fk := relational.Value(i % nR)
+		ds.X = append(ds.X, fk)
+		ds.Y = append(ds.Y, labelOf[fk])
+	}
+	m := New(smallCfg(9))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for v := 0; v < nR; v++ {
+		if m.Predict([]relational.Value{relational.Value(v)}) != labelOf[v] {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Fatalf("FK memorization failed on %d/%d values", wrong, nR)
+	}
+}
+
+func TestProbabilityRange(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(3)}
+	r := rng.New(11)
+	for i := 0; i < 60; i++ {
+		ds.X = append(ds.X, relational.Value(r.Intn(3)))
+		ds.Y = append(ds.Y, int8(r.Intn(2)))
+	}
+	m := New(smallCfg(13))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		p := m.Probability([]relational.Value{relational.Value(v)})
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(4)}
+	r := rng.New(15)
+	for i := 0; i < 80; i++ {
+		v := relational.Value(r.Intn(4))
+		ds.X = append(ds.X, v)
+		ds.Y = append(ds.Y, int8(int(v)%2))
+	}
+	fit := func() float64 {
+		m := New(smallCfg(17))
+		if err := m.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		return m.Probability(ds.Row(0))
+	}
+	if fit() != fit() {
+		t.Fatal("same seed must reproduce the model")
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2)}
+	r := rng.New(19)
+	for i := 0; i < 200; i++ {
+		x := relational.Value(r.Intn(2))
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, int8(x))
+	}
+	norm := func(l2 float64) float64 {
+		cfg := smallCfg(21)
+		cfg.L2 = l2
+		m := New(cfg)
+		if err := m.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, w := range m.w1 {
+			s += w * w
+		}
+		for _, w := range m.w2 {
+			s += w * w
+		}
+		return s
+	}
+	if norm(0.1) >= norm(0) {
+		t.Fatal("L2 regularization should shrink weight norms")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := New(Config{})
+	if m.cfg.Hidden1 != 256 || m.cfg.Hidden2 != 64 {
+		t.Fatalf("paper architecture defaults not applied: %+v", m.cfg)
+	}
+	if m.Name() != "ANN(MLP)" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+)
+
+// tinyOptions shrinks everything for unit tests: smallest datasets, fast
+// grids, few Monte-Carlo runs.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Scale:  1024,
+		Effort: core.EffortFast,
+		SVMCap: 80,
+		Runs:   2,
+		Seed:   1,
+		Out:    buf,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	stats, err := Table1(tinyOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(stats))
+	}
+	out := buf.String()
+	for _, name := range []string{"Expedia", "Movies", "Yelp", "Walmart", "LastFM", "Books", "Flights"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 output missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "N/A") {
+		t.Fatal("open-domain FK must print N/A")
+	}
+}
+
+func TestTable2CellsAndRendering(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	cells, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 datasets × (3 trees × 3 views + 1-NN × 2 views) = 7 × 11 = 77.
+	if len(cells) != 77 {
+		t.Fatalf("got %d cells, want 77", len(cells))
+	}
+	for _, c := range cells {
+		if c.TestAcc < 0.2 || c.TestAcc > 1 || c.TrainAcc < 0.2 || c.TrainAcc > 1 {
+			t.Fatalf("implausible cell %+v", c)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("table title missing")
+	}
+	// Table 5 renders train accuracy from the same cells.
+	buf.Reset()
+	if err := Table5(o, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 5") {
+		t.Fatal("Table 5 title missing")
+	}
+}
+
+func TestTreeNoJoinTracksJoinAllAcrossDatasets(t *testing.T) {
+	// The headline reproduction check at unit scale: for the gini tree,
+	// NoJoin accuracy stays within a few points of JoinAll on most
+	// datasets (Yelp, with its 2.5 tuple ratio, is allowed to drop).
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Scale = 256 // a bit more data for stability
+	cells, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]map[ml.View]float64{}
+	for _, c := range cells {
+		if c.Model != "DecisionTree(gini)" {
+			continue
+		}
+		if acc[c.Dataset] == nil {
+			acc[c.Dataset] = map[ml.View]float64{}
+		}
+		acc[c.Dataset][c.View] = c.TestAcc
+	}
+	badGap := 0
+	for ds, views := range acc {
+		gap := views[ml.JoinAll] - views[ml.NoJoin]
+		if ds == "Yelp" {
+			continue // the known not-safe-to-avoid case
+		}
+		if gap > 0.05 {
+			badGap++
+			t.Logf("dataset %s: JoinAll %v vs NoJoin %v", ds, views[ml.JoinAll], views[ml.NoJoin])
+		}
+	}
+	if badGap > 1 {
+		t.Fatalf("%d datasets show NoJoin >> JoinAll gaps; the tree should be robust", badGap)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table4(tinyOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("want 7 datasets, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Rows) < 4 {
+			t.Fatalf("%s: sweep too small (%d rows)", r.Dataset, len(r.Rows))
+		}
+	}
+	if !strings.Contains(buf.String(), "NoJoin") {
+		t.Fatal("sweep output must mark the NoJoin row")
+	}
+}
+
+func TestFigure2SinglePanel(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	panels, err := Figure2(o, []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 1 || panels[0].Label != "C" {
+		t.Fatalf("panel selection broken: %+v", panels)
+	}
+	if len(panels[0].Points) != 4 {
+		t.Fatalf("dS sweep should have 4 points, got %d", len(panels[0].Points))
+	}
+	for _, pt := range panels[0].Points {
+		ja := pt.Views[ml.JoinAll].AvgTestError
+		nj := pt.Views[ml.NoJoin].AvgTestError
+		if ja < 0 || ja > 1 || nj < 0 || nj > 1 {
+			t.Fatalf("implausible errors %v %v", ja, nj)
+		}
+		// Central claim at tuple ratio 25: gap small.
+		if math.Abs(ja-nj) > 0.06 {
+			t.Fatalf("tree NoJoin %v deviates from JoinAll %v at healthy tuple ratio", nj, ja)
+		}
+	}
+}
+
+func TestFigure10Compression(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Scale = 256
+	panels, err := Figure10(o, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("want Flights and Yelp panels, got %d", len(panels))
+	}
+	for _, p := range panels {
+		if len(p.Points) == 0 {
+			t.Fatalf("%s: no compression points", p.Dataset)
+		}
+		for _, pt := range p.Points {
+			if pt.RandomAcc < 0.3 || pt.SortAcc < 0.3 {
+				t.Fatalf("%s budget %d: implausible accuracies %+v", p.Dataset, pt.Budget, pt)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Fatal("figure title missing")
+	}
+}
+
+func TestFigure11Smoothing(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	panels, err := Figure11(o, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("want random and xr panels, got %d", len(panels))
+	}
+	for _, p := range panels {
+		if p.Strategy != "random" && p.Strategy != "xr" {
+			t.Fatalf("unknown strategy %q", p.Strategy)
+		}
+		if len(p.Points) != 2 {
+			t.Fatalf("want 2 gamma points, got %d", len(p.Points))
+		}
+		// Errors grow (or stay flat) as gamma rises for NoJoin.
+		if p.Points[1].Errors[ml.NoJoin]+0.15 < p.Points[0].Errors[ml.NoJoin] {
+			t.Fatalf("%s: error should not collapse as gamma rises: %+v", p.Strategy, p.Points)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Fatal("figure title missing")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 64 || o.SVMCap != 400 || o.Runs != 10 || o.Out == nil {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestHashNameStable(t *testing.T) {
+	if hashName("Yelp") != hashName("Yelp") {
+		t.Fatal("hashName must be deterministic")
+	}
+	if hashName("Yelp") == hashName("Books") {
+		t.Fatal("hashName should distinguish dataset names")
+	}
+}
+
+func TestDatasetNamesOrder(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 7 || names[0] != "Expedia" || names[6] != "Flights" {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+}
+
+func TestShortModel(t *testing.T) {
+	if shortModel("DecisionTree(gain-ratio)") != "DT(gr)" {
+		t.Fatalf("shortModel = %q", shortModel("DecisionTree(gain-ratio)"))
+	}
+	if shortModel("LogisticRegression(L1)") != "LR(L1)" {
+		t.Fatal("LR abbreviation wrong")
+	}
+}
+
+func TestPartialJoinTradeoff(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	curve, err := PartialJoinTradeoff(o, "Yelp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yelp's widest dimension is Businesses (32 foreign features) → 33 pts.
+	if curve.Dimension != "Businesses" {
+		t.Fatalf("expected widest dimension Businesses, got %q", curve.Dimension)
+	}
+	if len(curve.Points) != 33 {
+		t.Fatalf("got %d points, want 33", len(curve.Points))
+	}
+	if !strings.Contains(buf.String(), "Partial-join trade-off") {
+		t.Fatal("output title missing")
+	}
+	if _, err := PartialJoinTradeoff(o, "nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestFigure3And4(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	panels, err := Figure3And4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("want 1-NN and RBF panels, got %d", len(panels))
+	}
+	// The key shape: at the largest nR (tuple ratio 1), NoJoin error
+	// exceeds JoinAll error for the unstable 1-NN.
+	knnPanel := panels[0]
+	last := knnPanel.Points[len(knnPanel.Points)-1]
+	if last.Views[ml.NoJoin].AvgTestError <= last.Views[ml.JoinAll].AvgTestError {
+		t.Fatalf("1-NN NoJoin must deviate at tuple ratio 1: %v vs %v",
+			last.Views[ml.NoJoin].AvgTestError, last.Views[ml.JoinAll].AvgTestError)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	panels, err := Figure5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 4 {
+		t.Fatalf("want panels A-D, got %d", len(panels))
+	}
+	// Tree gap must stay small at every skew level (panels A and C).
+	for _, p := range panels[:1] {
+		for _, pt := range p.Points {
+			gap := pt.Views[ml.NoJoin].AvgTestError - pt.Views[ml.JoinAll].AvgTestError
+			if gap > 0.05 || gap < -0.05 {
+				t.Fatalf("panel %s: skew widened the tree gap to %v", p.Label, gap)
+			}
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	panels, err := Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 4 {
+		t.Fatalf("want panels A-D, got %d", len(panels))
+	}
+	// Panel A: error falls as nS rises.
+	a := panels[0]
+	first := a.Points[0].Views[ml.JoinAll].AvgTestError
+	lastPt := a.Points[len(a.Points)-1].Views[ml.JoinAll].AvgTestError
+	if lastPt >= first {
+		t.Fatalf("XSXR error should fall with nS: %v -> %v", first, lastPt)
+	}
+}
+
+func TestFigures7to9(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	panels, err := Figures7to9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 6 {
+		t.Fatalf("want 3 figures × 2 ratios, got %d", len(panels))
+	}
+	// Figure 9 at nR=200 (last panel): 1-NN NoJoin deviates.
+	last := panels[5]
+	if last.Figure != "9" {
+		t.Fatalf("last panel should be figure 9, got %s", last.Figure)
+	}
+	pt := last.Points[0]
+	if pt.Views[ml.NoJoin].AvgTestError <= pt.Views[ml.JoinAll].AvgTestError {
+		t.Fatalf("1-NN RepOneXr at ratio 5 must deviate: %v vs %v",
+			pt.Views[ml.NoJoin].AvgTestError, pt.Views[ml.JoinAll].AvgTestError)
+	}
+}
+
+func TestLinearBaselineContrast(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Runs = 3
+	panels, err := LinearBaseline(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 2 {
+		t.Fatalf("want LR and tree panels, got %d", len(panels))
+	}
+	// At the lowest tuple ratio (nR=330, ratio ≈ 3) the LR NoJoin gap must
+	// exceed the tree's — the paper's central contrast with prior work.
+	lr := panels[0].Points[len(panels[0].Points)-1]
+	tr := panels[1].Points[len(panels[1].Points)-1]
+	lrGap := lr.Views[ml.NoJoin].AvgTestError - lr.Views[ml.JoinAll].AvgTestError
+	trGap := tr.Views[ml.NoJoin].AvgTestError - tr.Views[ml.JoinAll].AvgTestError
+	if lrGap <= trGap {
+		t.Fatalf("LR gap (%v) must exceed tree gap (%v) at tuple ratio 3", lrGap, trGap)
+	}
+	if !strings.Contains(buf.String(), "Linear-baseline contrast") {
+		t.Fatal("output title missing")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/linear"
+	"repro/internal/ml"
+	"repro/internal/sim"
+	"repro/internal/texttable"
+)
+
+// lrLearner returns the logistic-regression simulation learner with a small
+// lambda grid tuned on the validation split.
+func lrLearner() sim.Learner {
+	return sim.Learner{
+		Name: "LogisticRegression(L1)",
+		Train: func(train, val *ml.Dataset, seed uint64) (ml.Classifier, error) {
+			grid := ml.NewGrid().Axis("lambda", 0, 1e-3, 1e-2)
+			res, err := ml.GridSearch(grid, func(p ml.GridPoint) (ml.Classifier, error) {
+				return linear.NewLogReg(linear.LogRegConfig{Lambda: p["lambda"], Seed: seed}), nil
+			}, train, val)
+			if err != nil {
+				return nil, err
+			}
+			return res.Best, nil
+		},
+	}
+}
+
+// LinearBaseline reruns the Figure 2(B) n_R sweep with L1 logistic
+// regression — the prior work's ([26], SIGMOD'16) linear-model behaviour
+// that this paper contrasts against: NoJoin error "shoots up" as the tuple
+// ratio falls below ≈20, where the decision tree stays flat. The function
+// renders both series side by side so the crossover is visible in one
+// table.
+func LinearBaseline(o Options) ([]Panel, error) {
+	o = o.withDefaults()
+	params := []float64{2, 8, 32, 64, 128, 330}
+	mk := func(x float64) (sim.Scenario, error) {
+		return sim.NewOneXr(defNS, int(x), defDS, defDR, defP, 2, sim.Skew{}, o.Seed+51)
+	}
+	var out []Panel
+	for _, l := range []sim.Learner{lrLearner(), treeLearner(0)} {
+		pts, err := sweep(o, params, mk, l)
+		if err != nil {
+			return nil, err
+		}
+		p := Panel{Figure: "2B-linear-contrast", Label: l.Name, XName: "nR", Learner: l.Name, Points: pts}
+		out = append(out, p)
+	}
+
+	fmt.Fprintf(o.Out, "Linear-baseline contrast (prior work vs this paper), OneXr nR sweep, runs=%d\n", o.Runs)
+	tab := texttable.New("nR", "tuple ratio",
+		"LR JoinAll", "LR NoJoin", "LR gap",
+		"Tree JoinAll", "Tree NoJoin", "Tree gap")
+	for i, x := range params {
+		lr := out[0].Points[i]
+		tr := out[1].Points[i]
+		lrGap := lr.Views[ml.NoJoin].AvgTestError - lr.Views[ml.JoinAll].AvgTestError
+		trGap := tr.Views[ml.NoJoin].AvgTestError - tr.Views[ml.JoinAll].AvgTestError
+		tab.Row(int(x), texttable.F2(float64(defNS)/x),
+			texttable.F(lr.Views[ml.JoinAll].AvgTestError),
+			texttable.F(lr.Views[ml.NoJoin].AvgTestError),
+			texttable.F(lrGap),
+			texttable.F(tr.Views[ml.JoinAll].AvgTestError),
+			texttable.F(tr.Views[ml.NoJoin].AvgTestError),
+			texttable.F(trGap))
+	}
+	if err := tab.Render(o.Out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/texttable"
+	"repro/internal/tree"
+)
+
+// PartialCurve is the §5.2 trade-off curve for one dataset/dimension: test
+// accuracy as foreign features of the dimension are added back one at a
+// time, from NoJoin (0 kept) to a full single-table join (all kept).
+type PartialCurve struct {
+	Dataset   string
+	Dimension string
+	Points    []core.PartialPoint
+}
+
+// PartialJoinTradeoff explores the paper's open question from §5.2 ("the
+// axioms of FDs imply that foreign features can be divided into arbitrary
+// subsets before being avoided, which opens up a new trade-off space") on
+// the named dataset's widest dimension table, with a gini tree.
+func PartialJoinTradeoff(o Options, datasetName string) (PartialCurve, error) {
+	o = o.withDefaults()
+	env, err := envFor(datasetName, o)
+	if err != nil {
+		return PartialCurve{}, err
+	}
+	// Pick the dimension with the most foreign features.
+	dims := env.Star.DimensionNames()
+	best, bestCount := "", -1
+	for _, d := range dims {
+		dim := env.Star.Dimensions[d]
+		n := len(dim.Schema.FeatureNames())
+		if n > bestCount {
+			best, bestCount = d, n
+		}
+	}
+	if best == "" {
+		return PartialCurve{}, fmt.Errorf("experiments: %s has no dimension tables", datasetName)
+	}
+	pts, err := core.PartialJoinSweep(env, best, core.TreeSpec(tree.Gini, o.Effort), o.Seed+43)
+	if err != nil {
+		return PartialCurve{}, err
+	}
+	curve := PartialCurve{Dataset: datasetName, Dimension: best, Points: pts}
+
+	fmt.Fprintf(o.Out, "Partial-join trade-off (§5.2 extension): %s / %s, gini tree\n",
+		datasetName, best)
+	tab := texttable.New("foreign features kept", "TestAcc")
+	for _, p := range pts {
+		tab.Row(p.Kept, texttable.F(p.TestAcc))
+	}
+	if err := tab.Render(o.Out); err != nil {
+		return PartialCurve{}, err
+	}
+	return curve, nil
+}

@@ -1,0 +1,352 @@
+package fk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+func feats(cards ...int) []ml.Feature {
+	out := make([]ml.Feature, len(cards))
+	for i, c := range cards {
+		out[i] = ml.Feature{Name: "f", Cardinality: c}
+	}
+	return out
+}
+
+func TestRandomHashValidation(t *testing.T) {
+	if _, err := NewRandomHash(0, 5, rng.New(1)); err == nil {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := NewRandomHash(10, 0, rng.New(1)); err == nil {
+		t.Fatal("l=0 must error")
+	}
+}
+
+func TestRandomHashRange(t *testing.T) {
+	f := func(seed uint64, mRaw, lRaw uint8) bool {
+		m := int(mRaw%200) + 1
+		l := int(lRaw%50) + 1
+		h, err := NewRandomHash(m, l, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for v := 0; v < m; v++ {
+			mapped := h.Map(relational.Value(v))
+			if int(mapped) < 0 || int(mapped) >= h.Budget() {
+				return false
+			}
+		}
+		return h.Budget() <= m && h.Budget() <= l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomHashBudgetClampedToDomain(t *testing.T) {
+	h, err := NewRandomHash(3, 10, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Budget() != 3 {
+		t.Fatalf("budget %d, want clamp to 3", h.Budget())
+	}
+}
+
+// fkDataset builds a dataset with one FK feature where values [0, m/2) are
+// pure class 0 and [m/2, m) are pure class 1.
+func fkDataset(m, n int, r *rng.RNG) *ml.Dataset {
+	ds := &ml.Dataset{Features: []ml.Feature{{Name: "FK", Cardinality: m, IsFK: true}}}
+	for i := 0; i < n; i++ {
+		v := r.Intn(m)
+		ds.X = append(ds.X, relational.Value(v))
+		y := int8(0)
+		if v >= m/2 {
+			y = 1
+		}
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func TestSortBasedGroupsByConditionalEntropy(t *testing.T) {
+	// Values split into pure-0 and pure-1 halves: with budget 2 the
+	// sort-based compressor must separate classes almost perfectly, because
+	// H(Y|v)=0 for all values but P(Y=1|v) differs. Note Sort-based sorts
+	// by H, which is 0 for both halves — so the paper's heuristic groups
+	// them together! This is the known limitation; with budget 2 the split
+	// between the halves depends on tie-breaking. Instead verify the
+	// well-posedness properties: mapping is total, within budget, and
+	// deterministic given a seed.
+	ds := fkDataset(40, 2000, rng.New(3))
+	sb, err := NewSortBased(ds, 0, 5, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 40; v++ {
+		mv := sb.Map(relational.Value(v))
+		if int(mv) < 0 || int(mv) >= sb.Budget() {
+			t.Fatalf("mapped value %d out of budget", mv)
+		}
+	}
+	sb2, _ := NewSortBased(ds, 0, 5, rng.New(7))
+	for v := 0; v < 40; v++ {
+		if sb.Map(relational.Value(v)) != sb2.Map(relational.Value(v)) {
+			t.Fatal("sort-based mapping not deterministic under same seed")
+		}
+	}
+}
+
+func TestSortBasedSeparatesNoisyFromClean(t *testing.T) {
+	// Clean values (H≈0) and coin-flip values (H≈1) must land in different
+	// buckets with budget 2.
+	r := rng.New(5)
+	ds := &ml.Dataset{Features: []ml.Feature{{Name: "FK", Cardinality: 20, IsFK: true}}}
+	for i := 0; i < 4000; i++ {
+		v := r.Intn(20)
+		var y int8
+		if v < 10 {
+			y = 1 // clean: always class 1
+		} else {
+			y = int8(r.Intn(2)) // noisy
+		}
+		ds.X = append(ds.X, relational.Value(v))
+		ds.Y = append(ds.Y, y)
+	}
+	sb, err := NewSortBased(ds, 0, 2, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBucket := sb.Map(0)
+	for v := 1; v < 10; v++ {
+		if sb.Map(relational.Value(v)) != cleanBucket {
+			t.Fatalf("clean value %d not grouped with other clean values", v)
+		}
+	}
+	noisyBucket := sb.Map(10)
+	if noisyBucket == cleanBucket {
+		t.Fatal("noisy and clean values must separate with budget 2")
+	}
+	for v := 11; v < 20; v++ {
+		if sb.Map(relational.Value(v)) != noisyBucket {
+			t.Fatalf("noisy value %d not grouped with other noisy values", v)
+		}
+	}
+}
+
+func TestSortBasedValidation(t *testing.T) {
+	ds := fkDataset(10, 100, rng.New(1))
+	if _, err := NewSortBased(ds, 5, 2, rng.New(1)); err == nil {
+		t.Fatal("bad feature index must error")
+	}
+	if _, err := NewSortBased(ds, 0, 0, rng.New(1)); err == nil {
+		t.Fatal("zero budget must error")
+	}
+}
+
+func TestCompressFeature(t *testing.T) {
+	ds := fkDataset(40, 200, rng.New(11))
+	h, err := NewRandomHash(40, 5, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CompressFeature(ds, 0, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Features[0].Cardinality != 5 {
+		t.Fatalf("cardinality %d, want 5", out.Features[0].Cardinality)
+	}
+	for i := 0; i < out.NumExamples(); i++ {
+		if v := out.Row(i)[0]; int(v) >= 5 {
+			t.Fatalf("row %d carries uncompressed value %d", i, v)
+		}
+		if out.Row(i)[0] != h.Map(ds.Row(i)[0]) {
+			t.Fatal("compression mapping not applied consistently")
+		}
+	}
+	// Original untouched.
+	if ds.Features[0].Cardinality != 40 {
+		t.Fatal("CompressFeature must not mutate its input")
+	}
+	if _, err := CompressFeature(ds, 9, h); err == nil {
+		t.Fatal("bad index must error")
+	}
+}
+
+func TestRandomSmootherPassThroughAndRemap(t *testing.T) {
+	ds := &ml.Dataset{
+		Features: feats(10),
+		X:        []relational.Value{1, 3, 5},
+		Y:        []int8{0, 1, 0},
+	}
+	s, err := NewRandomSmoother(ds, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seen values pass through.
+	for _, v := range []relational.Value{1, 3, 5} {
+		if s.Remap(0, v) != v {
+			t.Fatalf("seen value %d must pass through", v)
+		}
+	}
+	// Unseen values map to a seen one.
+	for _, v := range []relational.Value{0, 2, 9} {
+		got := s.Remap(0, v)
+		if got != 1 && got != 3 && got != 5 {
+			t.Fatalf("unseen %d remapped to unseen %d", v, got)
+		}
+	}
+	if _, err := NewRandomSmoother(&ml.Dataset{Features: feats(2)}, 1); err == nil {
+		t.Fatal("empty train must error")
+	}
+}
+
+// buildDim builds a dimension table with the given X_R rows.
+func buildDim(t *testing.T, xr [][]relational.Value) *relational.Table {
+	t.Helper()
+	n := len(xr)
+	keyDom := relational.NewDomain("RID", n)
+	cols := []relational.Column{{Name: "RID", Kind: relational.KindPrimaryKey, Domain: keyDom}}
+	for j := range xr[0] {
+		cols = append(cols, relational.Column{
+			Name: "XR" + string(rune('a'+j)), Kind: relational.KindFeature,
+			Domain: relational.NewDomain("xr", 4),
+		})
+	}
+	dim := relational.NewTable("R", relational.MustSchema(cols...), n)
+	row := make([]relational.Value, len(cols))
+	for k := 0; k < n; k++ {
+		row[0] = relational.Value(k)
+		copy(row[1:], xr[k])
+		dim.MustAppendRow(row)
+	}
+	return dim
+}
+
+func TestXRSmootherPicksMinL0(t *testing.T) {
+	// Dimension rows: 0:(0,0) 1:(1,1) 2:(0,1). Training saw FK ∈ {0,1}.
+	// Unseen FK=2 has X_R (0,1): distance 1 to both; ties break randomly
+	// among {0,1} — check membership. Then make row 2 = (1,1): distance 0
+	// to row 1 → must map to 1.
+	dim := buildDim(t, [][]relational.Value{{0, 0}, {1, 1}, {0, 1}})
+	train := &ml.Dataset{
+		Features: []ml.Feature{{Name: "FK", Cardinality: 3, IsFK: true}},
+		X:        []relational.Value{0, 1, 0},
+		Y:        []int8{0, 1, 0},
+	}
+	s, err := NewXRSmoother(train, 0, dim, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Remap(0, 2)
+	if got != 0 && got != 1 {
+		t.Fatalf("tie must resolve among minimizers, got %d", got)
+	}
+	// Exact-match case.
+	dim2 := buildDim(t, [][]relational.Value{{0, 0}, {1, 1}, {1, 1}})
+	s2, err := NewXRSmoother(train, 0, dim2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Remap(0, 2); got != 1 {
+		t.Fatalf("identical X_R must map to its twin, got %d", got)
+	}
+	// Seen values pass through; other features pass through.
+	if s.Remap(0, 1) != 1 || s.Remap(3, 2) != 2 {
+		t.Fatal("pass-through broken")
+	}
+}
+
+func TestXRSmootherValidation(t *testing.T) {
+	dim := buildDim(t, [][]relational.Value{{0, 0}, {1, 1}})
+	train := &ml.Dataset{
+		Features: []ml.Feature{{Name: "FK", Cardinality: 3, IsFK: true}},
+		X:        []relational.Value{0},
+		Y:        []int8{1},
+	}
+	if _, err := NewXRSmoother(train, 0, dim, 1); err == nil {
+		t.Fatal("row/domain mismatch must error")
+	}
+	if _, err := NewXRSmoother(train, 7, dim, 1); err == nil {
+		t.Fatal("bad feature index must error")
+	}
+}
+
+func TestFrequencyBasedKeepsHeadValues(t *testing.T) {
+	// Zipf-ish counts: value 0 dominates, then 1, then a long tail.
+	ds := &ml.Dataset{Features: []ml.Feature{{Name: "FK", Cardinality: 10, IsFK: true}}}
+	add := func(v relational.Value, n int) {
+		for i := 0; i < n; i++ {
+			ds.X = append(ds.X, v)
+			ds.Y = append(ds.Y, int8(i%2))
+		}
+	}
+	add(0, 50)
+	add(1, 20)
+	for v := relational.Value(2); v < 10; v++ {
+		add(v, 2)
+	}
+	f, err := NewFrequencyBased(ds, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Budget() != 3 {
+		t.Fatalf("budget %d", f.Budget())
+	}
+	// Head values get singleton buckets 0 and 1; everything else → 2.
+	if f.Map(0) != 0 || f.Map(1) != 1 {
+		t.Fatalf("head mapping wrong: %d %d", f.Map(0), f.Map(1))
+	}
+	for v := relational.Value(2); v < 10; v++ {
+		if f.Map(v) != 2 {
+			t.Fatalf("tail value %d not in Others bucket: %d", v, f.Map(v))
+		}
+	}
+	// Out-of-range values also fall into Others.
+	if f.Map(99) != 2 {
+		t.Fatal("unknown value must map to Others")
+	}
+}
+
+func TestFrequencyBasedValidation(t *testing.T) {
+	ds := fkDataset(10, 50, rng.New(91))
+	if _, err := NewFrequencyBased(ds, 5, 2); err == nil {
+		t.Fatal("bad feature index must error")
+	}
+	if _, err := NewFrequencyBased(ds, 0, 0); err == nil {
+		t.Fatal("zero budget must error")
+	}
+	// Budget beyond domain clamps.
+	f, err := NewFrequencyBased(ds, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Budget() != 10 {
+		t.Fatalf("budget must clamp to domain size, got %d", f.Budget())
+	}
+}
+
+func TestFrequencyBasedWithCompressFeature(t *testing.T) {
+	ds := fkDataset(40, 400, rng.New(93))
+	f, err := NewFrequencyBased(ds, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CompressFeature(ds, 0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Features[0].Cardinality != 5 {
+		t.Fatalf("cardinality %d", out.Features[0].Cardinality)
+	}
+	for i := 0; i < out.NumExamples(); i++ {
+		if int(out.Row(i)[0]) >= 5 {
+			t.Fatal("uncompressed value leaked")
+		}
+	}
+}

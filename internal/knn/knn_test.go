@@ -1,0 +1,137 @@
+package knn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+func feats(cards ...int) []ml.Feature {
+	out := make([]ml.Feature, len(cards))
+	for i, c := range cards {
+		out[i] = ml.Feature{Name: "f", Cardinality: c}
+	}
+	return out
+}
+
+func TestFitRejectsEmpty(t *testing.T) {
+	if err := New().Fit(&ml.Dataset{Features: feats(2)}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestExactMatchWins(t *testing.T) {
+	ds := &ml.Dataset{
+		Features: feats(3, 3),
+		X:        []relational.Value{0, 0, 1, 1, 2, 2},
+		Y:        []int8{0, 1, 0},
+	}
+	k := New()
+	if err := k.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if k.Predict(ds.Row(i)) != ds.Label(i) {
+			t.Fatalf("1-NN must have perfect training accuracy, wrong at %d", i)
+		}
+	}
+}
+
+func TestTrainAccuracyIsPerfectOnDistinctRows(t *testing.T) {
+	// Paper Table 5: 1-NN training accuracy is 1 whenever rows are distinct.
+	r := rng.New(3)
+	ds := &ml.Dataset{Features: feats(50, 50)}
+	for i := 0; i < 40; i++ {
+		ds.X = append(ds.X, relational.Value(i), relational.Value(r.Intn(50)))
+		ds.Y = append(ds.Y, int8(r.Intn(2)))
+	}
+	k := New()
+	if err := k.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(k, ds); acc != 1.0 {
+		t.Fatalf("train accuracy %v, want 1.0", acc)
+	}
+}
+
+func TestNearestByHamming(t *testing.T) {
+	ds := &ml.Dataset{
+		Features: feats(4, 4, 4),
+		X: []relational.Value{
+			0, 0, 0,
+			3, 3, 3,
+		},
+		Y: []int8{0, 1},
+	}
+	k := New()
+	if err := k.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if k.Predict([]relational.Value{0, 0, 3}) != 0 {
+		t.Fatal("closer to all-zeros row")
+	}
+	if k.Predict([]relational.Value{0, 3, 3}) != 1 {
+		t.Fatal("closer to all-threes row")
+	}
+}
+
+func TestTieBreaksToEarliest(t *testing.T) {
+	ds := &ml.Dataset{
+		Features: feats(4, 4),
+		X: []relational.Value{
+			0, 1,
+			1, 0,
+		},
+		Y: []int8{1, 0},
+	}
+	k := New()
+	if err := k.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// {0,0} matches each stored row on one feature: tie → earliest (label 1).
+	if k.Predict([]relational.Value{0, 0}) != 1 {
+		t.Fatal("tie must break to the earliest training example")
+	}
+}
+
+func TestFKMemorizationProperty(t *testing.T) {
+	// The paper's §5 insight: when X_S is empty and FK functionally
+	// determines the (discarded) X_R that defines Y, 1-NN with NoJoin
+	// memorizes FK and still generalizes to test rows whose FK was seen.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nR := r.Intn(20) + 5
+		labelOf := make([]int8, nR)
+		for i := range labelOf {
+			labelOf[i] = int8(r.Intn(2))
+		}
+		ds := &ml.Dataset{Features: feats(nR)}
+		for i := 0; i < nR*4; i++ {
+			fk := relational.Value(i % nR)
+			ds.X = append(ds.X, fk)
+			ds.Y = append(ds.Y, labelOf[fk])
+		}
+		k := New()
+		if err := k.Fit(ds); err != nil {
+			return false
+		}
+		for v := 0; v < nR; v++ {
+			if k.Predict([]relational.Value{relational.Value(v)}) != labelOf[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "1-NN" {
+		t.Fatal("name wrong")
+	}
+}

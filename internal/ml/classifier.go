@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relational"
+)
+
+// Classifier is the interface every learner implements. Fit trains on a
+// dataset; Predict classifies one example given as categorical codes in the
+// same feature order the model was trained with.
+type Classifier interface {
+	Fit(train *Dataset) error
+	Predict(row []relational.Value) int8
+}
+
+// Named is implemented by classifiers that expose a display name for report
+// rows (e.g. "Decision Tree (gini)").
+type Named interface {
+	Name() string
+}
+
+// Accuracy returns the fraction of examples in ds classified correctly by c.
+func Accuracy(c Classifier, ds *Dataset) float64 {
+	if ds.NumExamples() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.NumExamples(); i++ {
+		if c.Predict(ds.Row(i)) == ds.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.NumExamples())
+}
+
+// Error returns the 0-1 loss of c on ds (1 − Accuracy).
+func Error(c Classifier, ds *Dataset) float64 {
+	return 1 - Accuracy(c, ds)
+}
+
+// Confusion is a 2×2 confusion matrix for binary classification.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse evaluates c on ds and tallies the confusion matrix.
+func Confuse(c Classifier, ds *Dataset) Confusion {
+	var m Confusion
+	for i := 0; i < ds.NumExamples(); i++ {
+		pred, truth := c.Predict(ds.Row(i)), ds.Label(i)
+		switch {
+		case pred == 1 && truth == 1:
+			m.TP++
+		case pred == 1 && truth == 0:
+			m.FP++
+		case pred == 0 && truth == 0:
+			m.TN++
+		default:
+			m.FN++
+		}
+	}
+	return m
+}
+
+// Accuracy returns the accuracy implied by the confusion matrix.
+func (m Confusion) Accuracy() float64 {
+	total := m.TP + m.FP + m.TN + m.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(total)
+}
+
+// GridPoint is one hyper-parameter assignment: a name → value map.
+type GridPoint map[string]float64
+
+// clone copies a grid point.
+func (g GridPoint) clone() GridPoint {
+	out := make(GridPoint, len(g))
+	for k, v := range g {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the point with sorted keys for deterministic logs.
+func (g GridPoint) String() string {
+	keys := make([]string, 0, len(g))
+	for k := range g {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%g", k, g[k])
+	}
+	return s + "}"
+}
+
+// Grid enumerates the cross product of per-parameter value axes, exactly the
+// "standard grid search" of §3.2.
+type Grid struct {
+	names []string
+	axes  [][]float64
+}
+
+// NewGrid returns an empty grid (a single empty point).
+func NewGrid() *Grid { return &Grid{} }
+
+// Axis appends a parameter axis and returns the grid for chaining.
+func (g *Grid) Axis(name string, values ...float64) *Grid {
+	g.names = append(g.names, name)
+	g.axes = append(g.axes, append([]float64(nil), values...))
+	return g
+}
+
+// Points enumerates every point in the cross product, in deterministic
+// lexicographic order of the axes as added.
+func (g *Grid) Points() []GridPoint {
+	points := []GridPoint{{}}
+	for ai, name := range g.names {
+		var next []GridPoint
+		for _, p := range points {
+			for _, v := range g.axes[ai] {
+				q := p.clone()
+				q[name] = v
+				next = append(next, q)
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// Factory constructs a classifier for a grid point.
+type Factory func(GridPoint) (Classifier, error)
+
+// TuneResult reports a completed grid search.
+type TuneResult struct {
+	Best        Classifier
+	BestPoint   GridPoint
+	BestValAcc  float64
+	PointsTried int
+}
+
+// GridSearch trains a classifier at every grid point on train, evaluates on
+// validation accuracy, and refits nothing: the best already-fitted model is
+// returned (the paper tunes on the validation split and reports holdout test
+// accuracy of the tuned model). Ties keep the earlier point, making results
+// deterministic.
+func GridSearch(grid *Grid, factory Factory, train, validation *Dataset) (TuneResult, error) {
+	points := grid.Points()
+	if len(points) == 0 {
+		return TuneResult{}, fmt.Errorf("ml: empty grid")
+	}
+	res := TuneResult{BestValAcc: -1}
+	for _, p := range points {
+		c, err := factory(p)
+		if err != nil {
+			return TuneResult{}, fmt.Errorf("ml: grid point %v: %w", p, err)
+		}
+		if err := c.Fit(train); err != nil {
+			return TuneResult{}, fmt.Errorf("ml: fit at %v: %w", p, err)
+		}
+		acc := Accuracy(c, validation)
+		res.PointsTried++
+		if acc > res.BestValAcc {
+			res.Best = c
+			res.BestPoint = p
+			res.BestValAcc = acc
+		}
+	}
+	return res, nil
+}
+
+// ConstantClassifier predicts a fixed class; the baseline for sanity checks
+// and the fallback for degenerate training sets.
+type ConstantClassifier struct{ Class int8 }
+
+// Fit sets the class to the training majority.
+func (c *ConstantClassifier) Fit(train *Dataset) error {
+	c.Class = train.MajorityClass()
+	return nil
+}
+
+// Predict returns the fixed class.
+func (c *ConstantClassifier) Predict([]relational.Value) int8 { return c.Class }
+
+// Name implements Named.
+func (c *ConstantClassifier) Name() string { return "Majority" }

@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// KFold partitions example indices into k folds after a seeded shuffle.
+// Fold sizes differ by at most one. rpart tunes cp by 10-fold
+// cross-validation internally; this helper lets callers reproduce that
+// tuning style when no held-out validation split exists (the paper's
+// datasets are pre-split, so GridSearch is the default path, but library
+// adopters with a single table need CV).
+func KFold(n, k int, r *rng.RNG) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 folds, got %d", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("ml: %d examples cannot fill %d folds", n, k)
+	}
+	perm := r.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds, nil
+}
+
+// CrossValidate estimates the mean validation accuracy of a classifier
+// configuration over k folds: for each fold, train the factory's classifier
+// on the remaining folds and evaluate on the held-out one.
+func CrossValidate(factory func() (Classifier, error), ds *Dataset, k int, r *rng.RNG) (float64, error) {
+	folds, err := KFold(ds.NumExamples(), k, r)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for fi, holdout := range folds {
+		var trainIdx []int
+		for fj, fold := range folds {
+			if fj != fi {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		c, err := factory()
+		if err != nil {
+			return 0, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		if err := c.Fit(ds.Subset(trainIdx)); err != nil {
+			return 0, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		total += Accuracy(c, ds.Subset(holdout))
+	}
+	return total / float64(k), nil
+}
+
+// GridSearchCV tunes a grid by k-fold cross-validation on a single dataset
+// and then refits the winning configuration on all of it. Ties keep the
+// earlier grid point, as in GridSearch.
+func GridSearchCV(grid *Grid, factory Factory, ds *Dataset, k int, seed uint64) (TuneResult, error) {
+	points := grid.Points()
+	if len(points) == 0 {
+		return TuneResult{}, fmt.Errorf("ml: empty grid")
+	}
+	res := TuneResult{BestValAcc: -1}
+	for _, p := range points {
+		// Each grid point sees identical folds: same seed.
+		acc, err := CrossValidate(func() (Classifier, error) {
+			return factory(p)
+		}, ds, k, rng.New(seed))
+		if err != nil {
+			return TuneResult{}, fmt.Errorf("ml: grid point %v: %w", p, err)
+		}
+		res.PointsTried++
+		if acc > res.BestValAcc {
+			res.BestValAcc = acc
+			res.BestPoint = p
+		}
+	}
+	best, err := factory(res.BestPoint)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	if err := best.Fit(ds); err != nil {
+		return TuneResult{}, err
+	}
+	res.Best = best
+	return res, nil
+}

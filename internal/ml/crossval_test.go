@@ -1,0 +1,121 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+func TestKFoldPartitions(t *testing.T) {
+	r := rng.New(1)
+	folds, err := KFold(10, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("folds cover %d of 10 indices", len(seen))
+	}
+	// Sizes differ by at most one.
+	min, max := 99, 0
+	for _, f := range folds {
+		if len(f) < min {
+			min = len(f)
+		}
+		if len(f) > max {
+			max = len(f)
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("fold sizes unbalanced: min %d max %d", min, max)
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	r := rng.New(2)
+	if _, err := KFold(10, 1, r); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := KFold(2, 5, r); err == nil {
+		t.Fatal("n < k must error")
+	}
+}
+
+// cvDataset: feature 0 predicts the label with 10% noise.
+func cvDataset(n int, seed uint64) *Dataset {
+	r := rng.New(seed)
+	ds := &Dataset{Features: []Feature{
+		{Name: "sig", Cardinality: 2},
+		{Name: "noise", Cardinality: 4},
+	}}
+	for i := 0; i < n; i++ {
+		x := r.Intn(2)
+		y := int8(x)
+		if r.Bernoulli(0.1) {
+			y = 1 - y
+		}
+		ds.X = append(ds.X, relational.Value(x), relational.Value(r.Intn(4)))
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func TestCrossValidateEstimatesAccuracy(t *testing.T) {
+	ds := cvDataset(500, 3)
+	acc, err := CrossValidate(func() (Classifier, error) {
+		return &thresholdClassifier{thresh: 1}, nil
+	}, ds, 5, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The threshold classifier matches the signal: CV accuracy ≈ 0.9.
+	if acc < 0.85 || acc > 0.95 {
+		t.Fatalf("CV accuracy %v, want ≈0.9", acc)
+	}
+}
+
+func TestGridSearchCVPicksSignalThreshold(t *testing.T) {
+	ds := cvDataset(300, 5)
+	grid := NewGrid().Axis("thresh", 0, 1, 2)
+	res, err := GridSearchCV(grid, func(p GridPoint) (Classifier, error) {
+		return &thresholdClassifier{thresh: p["thresh"]}, nil
+	}, ds, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestPoint["thresh"] != 1 {
+		t.Fatalf("best point %v, want thresh=1", res.BestPoint)
+	}
+	if res.PointsTried != 3 || res.Best == nil {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+}
+
+func TestGridSearchCVDeterministic(t *testing.T) {
+	ds := cvDataset(200, 9)
+	grid := NewGrid().Axis("thresh", 0, 1, 2)
+	run := func() float64 {
+		res, err := GridSearchCV(grid, func(p GridPoint) (Classifier, error) {
+			return &thresholdClassifier{thresh: p["thresh"]}, nil
+		}, ds, 4, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestValAcc
+	}
+	if run() != run() {
+		t.Fatal("same seed must reproduce CV results")
+	}
+}

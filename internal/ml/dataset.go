@@ -1,0 +1,163 @@
+// Package ml is the shared machine-learning layer: a categorical Dataset
+// abstraction built as a view over relational tables, the Classifier
+// interface every learner implements, evaluation metrics, and the
+// validation-set grid search the paper uses for hyper-parameter tuning.
+//
+// Every learner in this repository consumes examples as vectors of
+// categorical codes. One-hot semantics, where a model needs them, are
+// recovered inside the model (kernel match counts, per-(feature,value)
+// weights, sparse embedding rows) rather than by materializing a one-hot
+// matrix; see the Encoder type.
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// Feature describes one input feature of a dataset: its name, its domain
+// cardinality, and whether it is a foreign-key column (several components —
+// unseen-value smoothing, domain compression, the NoFK view — treat FK
+// features specially).
+type Feature struct {
+	Name        string
+	Cardinality int
+	IsFK        bool
+}
+
+// Dataset is an immutable supervised learning problem: n examples, d
+// categorical features, binary labels. X is row-major (len n*d); Y holds
+// class labels 0/1.
+type Dataset struct {
+	Features []Feature
+	X        []relational.Value // len = n * d
+	Y        []int8             // len = n
+}
+
+// NumExamples returns n.
+func (d *Dataset) NumExamples() int { return len(d.Y) }
+
+// NumFeatures returns d.
+func (d *Dataset) NumFeatures() int { return len(d.Features) }
+
+// Row returns example i's feature codes (aliases internal storage).
+func (d *Dataset) Row(i int) []relational.Value {
+	k := d.NumFeatures()
+	return d.X[i*k : (i+1)*k : (i+1)*k]
+}
+
+// Label returns example i's class in {0, 1}.
+func (d *Dataset) Label(i int) int8 { return d.Y[i] }
+
+// PositiveFraction returns the empirical P(Y=1).
+func (d *Dataset) PositiveFraction() float64 {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, y := range d.Y {
+		if y == 1 {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(d.Y))
+}
+
+// MajorityClass returns the most frequent label (ties → 1, matching the
+// convention that a vacuous model predicts the positive class on ties).
+func (d *Dataset) MajorityClass() int8 {
+	if d.PositiveFraction() >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Subset materializes a new dataset restricted to the given example indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	k := d.NumFeatures()
+	out := &Dataset{
+		Features: d.Features,
+		X:        make([]relational.Value, 0, len(idx)*k),
+		Y:        make([]int8, 0, len(idx)),
+	}
+	for _, i := range idx {
+		out.X = append(out.X, d.Row(i)...)
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out
+}
+
+// FromTable builds a dataset from a (typically joined) table using the given
+// feature column indices and the table's target column. Target domain must be
+// binary.
+func FromTable(t *relational.Table, featureCols []int, targetCol int) (*Dataset, error) {
+	tc := t.Schema.Cols[targetCol]
+	if tc.Kind != relational.KindTarget {
+		return nil, fmt.Errorf("ml: column %q is %v, not a target", tc.Name, tc.Kind)
+	}
+	if tc.Domain.Size != 2 {
+		return nil, fmt.Errorf("ml: target %q must be binary, domain size %d", tc.Name, tc.Domain.Size)
+	}
+	feats := make([]Feature, len(featureCols))
+	for j, c := range featureCols {
+		col := t.Schema.Cols[c]
+		switch col.Kind {
+		case relational.KindFeature, relational.KindForeignKey:
+		default:
+			return nil, fmt.Errorf("ml: column %q is %v; only features and foreign keys may be inputs", col.Name, col.Kind)
+		}
+		feats[j] = Feature{
+			Name:        col.Name,
+			Cardinality: col.Domain.Size,
+			IsFK:        col.Kind == relational.KindForeignKey,
+		}
+	}
+	n := t.NumRows()
+	ds := &Dataset{
+		Features: feats,
+		X:        make([]relational.Value, 0, n*len(featureCols)),
+		Y:        make([]int8, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		row := t.Row(i)
+		for _, c := range featureCols {
+			ds.X = append(ds.X, row[c])
+		}
+		ds.Y = append(ds.Y, int8(row[targetCol]))
+	}
+	return ds, nil
+}
+
+// DropFeatures returns a copy of the dataset without the features at the
+// given positions (used by backward feature selection and ablations).
+func (d *Dataset) DropFeatures(drop map[int]bool) *Dataset {
+	var keep []int
+	for j := range d.Features {
+		if !drop[j] {
+			keep = append(keep, j)
+		}
+	}
+	return d.SelectFeatures(keep)
+}
+
+// SelectFeatures returns a copy of the dataset with only the features at the
+// given positions, in the given order.
+func (d *Dataset) SelectFeatures(keep []int) *Dataset {
+	n := d.NumExamples()
+	out := &Dataset{
+		Features: make([]Feature, len(keep)),
+		X:        make([]relational.Value, 0, n*len(keep)),
+		Y:        append([]int8(nil), d.Y...),
+	}
+	for j, k := range keep {
+		out.Features[j] = d.Features[k]
+	}
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for _, k := range keep {
+			out.X = append(out.X, row[k])
+		}
+	}
+	return out
+}

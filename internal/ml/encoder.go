@@ -1,0 +1,58 @@
+package ml
+
+import "repro/internal/relational"
+
+// Encoder maps (feature, value) pairs to dense one-hot dimensions. Linear
+// models keep one weight per dimension; the ANN keeps one embedding row per
+// dimension. Offsets[j] is the first dimension of feature j; the total
+// one-hot width is Dims.
+type Encoder struct {
+	Offsets []int
+	Dims    int
+}
+
+// NewEncoder builds the offset table for a feature list.
+func NewEncoder(features []Feature) *Encoder {
+	e := &Encoder{Offsets: make([]int, len(features))}
+	for j, f := range features {
+		e.Offsets[j] = e.Dims
+		e.Dims += f.Cardinality
+	}
+	return e
+}
+
+// Index returns the one-hot dimension of value v of feature j.
+func (e *Encoder) Index(j int, v relational.Value) int {
+	return e.Offsets[j] + int(v)
+}
+
+// ActiveIndices fills dst with the one-hot dimensions active for the given
+// row and returns it. len(dst) must equal the number of features.
+func (e *Encoder) ActiveIndices(row []relational.Value, dst []int) []int {
+	for j, v := range row {
+		dst[j] = e.Offsets[j] + int(v)
+	}
+	return dst
+}
+
+// MatchCount returns the number of features on which two rows agree — the
+// dot product of their one-hot encodings. All kernels in this study reduce
+// to functions of this count:
+//
+//	linear:    k(x,z) = matches
+//	poly(d=2): k(x,z) = (γ·matches)²   [e1071's polynomial form with coef0=0]
+//	RBF:       k(x,z) = exp(−γ·‖x−z‖²) = exp(−2γ·(d − matches))
+//
+// since for one-hot categorical vectors ‖x−z‖² = 2(d − matches). Computing
+// kernels this way is exact and avoids materializing one-hot vectors; the
+// equivalence is checked by TestKernelsMatchExplicitOneHot and benchmarked by
+// the kernel ablation bench.
+func MatchCount(a, b []relational.Value) int {
+	m := 0
+	for i := range a {
+		if a[i] == b[i] {
+			m++
+		}
+	}
+	return m
+}

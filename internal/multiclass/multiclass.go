@@ -1,0 +1,154 @@
+// Package multiclass extends the binary study to multi-class targets via
+// one-vs-rest reduction. The paper's seven datasets mostly carry ordinal
+// multi-class targets that it binarizes for ease of comparison (§3.1,
+// footnote 2), noting that the ideas "can be easily applied to multi-class
+// targets as well" (§2.2); this package is that application: each class
+// gets one binary classifier trained on class-vs-rest labels, and
+// prediction takes the class whose classifier is most confident (falling
+// back to a fixed class order for plain 0/1 votes).
+package multiclass
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+)
+
+// Dataset is a supervised problem with K classes. X layout matches
+// ml.Dataset; Y holds class indices in [0, K).
+type Dataset struct {
+	Features []ml.Feature
+	K        int
+	X        []relational.Value
+	Y        []int
+}
+
+// NumExamples returns n.
+func (d *Dataset) NumExamples() int { return len(d.Y) }
+
+// Row returns example i's feature codes.
+func (d *Dataset) Row(i int) []relational.Value {
+	k := len(d.Features)
+	return d.X[i*k : (i+1)*k : (i+1)*k]
+}
+
+// Binarize produces the one-vs-rest binary dataset for a class: label 1 for
+// the class, 0 for the rest.
+func (d *Dataset) Binarize(class int) (*ml.Dataset, error) {
+	if class < 0 || class >= d.K {
+		return nil, fmt.Errorf("multiclass: class %d outside [0,%d)", class, d.K)
+	}
+	out := &ml.Dataset{
+		Features: d.Features,
+		X:        d.X,
+		Y:        make([]int8, len(d.Y)),
+	}
+	for i, y := range d.Y {
+		if y == class {
+			out.Y[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// BinarizeOrdinalHalves groups ordinal classes into lower and upper halves —
+// exactly the paper's binarization of its ordinal targets ("grouping
+// ordinal targets into lower and upper halves").
+func (d *Dataset) BinarizeOrdinalHalves() *ml.Dataset {
+	out := &ml.Dataset{
+		Features: d.Features,
+		X:        d.X,
+		Y:        make([]int8, len(d.Y)),
+	}
+	mid := d.K / 2
+	for i, y := range d.Y {
+		if y >= mid {
+			out.Y[i] = 1
+		}
+	}
+	return out
+}
+
+// Scorer is an optional interface: binary classifiers exposing a real-valued
+// confidence for the positive class through a Decision method. The SVM and
+// logistic regression already satisfy it; classifiers without it contribute
+// hard ±1 votes.
+type Scorer interface {
+	Decision(row []relational.Value) float64
+}
+
+// OneVsRest trains one binary classifier per class.
+type OneVsRest struct {
+	// NewClassifier constructs a fresh untrained binary classifier for
+	// class k (so per-class seeds or parameters are possible).
+	NewClassifier func(class int) (ml.Classifier, error)
+
+	models []ml.Classifier
+	k      int
+}
+
+// Fit trains K binary classifiers on class-vs-rest problems.
+func (o *OneVsRest) Fit(train *Dataset) error {
+	if o.NewClassifier == nil {
+		return fmt.Errorf("multiclass: NewClassifier not set")
+	}
+	if train.NumExamples() == 0 {
+		return fmt.Errorf("multiclass: empty training set")
+	}
+	if train.K < 2 {
+		return fmt.Errorf("multiclass: need at least 2 classes, got %d", train.K)
+	}
+	o.k = train.K
+	o.models = make([]ml.Classifier, train.K)
+	for c := 0; c < train.K; c++ {
+		bin, err := train.Binarize(c)
+		if err != nil {
+			return err
+		}
+		m, err := o.NewClassifier(c)
+		if err != nil {
+			return fmt.Errorf("multiclass: class %d: %w", c, err)
+		}
+		if err := m.Fit(bin); err != nil {
+			return fmt.Errorf("multiclass: class %d: %w", c, err)
+		}
+		o.models[c] = m
+	}
+	return nil
+}
+
+// Predict returns the class with the highest confidence. Scorer-capable
+// models vote with their real-valued score; others vote 1 for a positive
+// prediction and −1 otherwise. Ties break to the lowest class index.
+func (o *OneVsRest) Predict(row []relational.Value) int {
+	best, bestScore := 0, -1e300
+	for c, m := range o.models {
+		var s float64
+		if sc, ok := m.(Scorer); ok {
+			s = sc.Decision(row)
+		} else if m.Predict(row) == 1 {
+			s = 1
+		} else {
+			s = -1
+		}
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Accuracy computes multi-class accuracy on ds.
+func (o *OneVsRest) Accuracy(ds *Dataset) float64 {
+	if ds.NumExamples() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < ds.NumExamples(); i++ {
+		if o.Predict(ds.Row(i)) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.NumExamples())
+}

@@ -1,0 +1,179 @@
+package multiclass
+
+import (
+	"testing"
+
+	"repro/internal/linear"
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+	"repro/internal/tree"
+)
+
+// ordinalDataset builds a 3-class problem: class = value of feature 0
+// (with noise), feature 1 is noise.
+func ordinalDataset(n int, noise float64, seed uint64) *Dataset {
+	r := rng.New(seed)
+	d := &Dataset{
+		Features: []ml.Feature{
+			{Name: "sig", Cardinality: 3},
+			{Name: "noise", Cardinality: 4},
+		},
+		K: 3,
+	}
+	for i := 0; i < n; i++ {
+		x0 := r.Intn(3)
+		y := x0
+		if r.Bernoulli(noise) {
+			y = r.Intn(3)
+		}
+		d.X = append(d.X, relational.Value(x0), relational.Value(r.Intn(4)))
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+func TestBinarizeClass(t *testing.T) {
+	d := ordinalDataset(50, 0, 1)
+	bin, err := d.Binarize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.NumExamples(); i++ {
+		want := int8(0)
+		if d.Y[i] == 2 {
+			want = 1
+		}
+		if bin.Y[i] != want {
+			t.Fatalf("binarize wrong at %d", i)
+		}
+	}
+	if _, err := d.Binarize(5); err == nil {
+		t.Fatal("out-of-range class must error")
+	}
+}
+
+func TestBinarizeOrdinalHalves(t *testing.T) {
+	// K=3: mid = 1, so classes {1,2} → 1, class 0 → 0 (the paper's
+	// lower/upper halves grouping).
+	d := ordinalDataset(30, 0, 2)
+	bin := d.BinarizeOrdinalHalves()
+	for i := range d.Y {
+		want := int8(0)
+		if d.Y[i] >= 1 {
+			want = 1
+		}
+		if bin.Y[i] != want {
+			t.Fatalf("halves binarization wrong at %d", i)
+		}
+	}
+}
+
+func TestOneVsRestWithTrees(t *testing.T) {
+	train := ordinalDataset(600, 0.05, 3)
+	test := ordinalDataset(300, 0.05, 4)
+	ovr := &OneVsRest{
+		NewClassifier: func(int) (ml.Classifier, error) {
+			return tree.New(tree.Config{Criterion: tree.Gini, MinSplit: 5, CP: 1e-3}), nil
+		},
+	}
+	if err := ovr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ovr.Accuracy(test); acc < 0.85 {
+		t.Fatalf("one-vs-rest tree accuracy %v, want >= 0.85 (Bayes ≈ 0.97)", acc)
+	}
+}
+
+func TestOneVsRestUsesDecisionScores(t *testing.T) {
+	// Logistic regression exposes Decision; multi-class accuracy should
+	// beat hard voting on a dataset where calibrated scores matter.
+	train := ordinalDataset(900, 0.1, 5)
+	test := ordinalDataset(400, 0.1, 6)
+	ovr := &OneVsRest{
+		NewClassifier: func(c int) (ml.Classifier, error) {
+			return linear.NewLogReg(linear.LogRegConfig{Lambda: 1e-4, Seed: uint64(c + 1)}), nil
+		},
+	}
+	if err := ovr.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ovr.Accuracy(test); acc < 0.8 {
+		t.Fatalf("one-vs-rest LR accuracy %v too low", acc)
+	}
+	// The Scorer interface must actually be hit for LR.
+	var m ml.Classifier = linear.NewLogReg(linear.LogRegConfig{})
+	if _, ok := m.(Scorer); !ok {
+		t.Fatal("LogReg must satisfy Scorer via Decision")
+	}
+}
+
+func TestOneVsRestValidation(t *testing.T) {
+	ovr := &OneVsRest{}
+	if err := ovr.Fit(ordinalDataset(10, 0, 7)); err == nil {
+		t.Fatal("missing factory must error")
+	}
+	ovr.NewClassifier = func(int) (ml.Classifier, error) {
+		return tree.New(tree.Config{}), nil
+	}
+	if err := ovr.Fit(&Dataset{K: 3}); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	one := ordinalDataset(10, 0, 8)
+	one.K = 1
+	if err := ovr.Fit(one); err == nil {
+		t.Fatal("K < 2 must error")
+	}
+}
+
+func TestAvoidingJoinsHoldsForMulticlass(t *testing.T) {
+	// Extension check: the NoJoin≈JoinAll phenomenon carries over to a
+	// 3-class target determined through an FK-determined latent value.
+	r := rng.New(11)
+	const nR = 30
+	latent := make([]int, nR)
+	for i := range latent {
+		latent[i] = r.Intn(3)
+	}
+	gen := func(withXr bool, n int, rr *rng.RNG) *Dataset {
+		fs := []ml.Feature{{Name: "FK", Cardinality: nR, IsFK: true}}
+		if withXr {
+			fs = append(fs, ml.Feature{Name: "Xr", Cardinality: 3})
+		}
+		d := &Dataset{Features: fs, K: 3}
+		for i := 0; i < n; i++ {
+			fk := rr.Intn(nR)
+			y := latent[fk]
+			if rr.Bernoulli(0.05) {
+				y = rr.Intn(3)
+			}
+			d.X = append(d.X, relational.Value(fk))
+			if withXr {
+				d.X = append(d.X, relational.Value(latent[fk]))
+			}
+			d.Y = append(d.Y, y)
+		}
+		return d
+	}
+	mk := func() *OneVsRest {
+		return &OneVsRest{NewClassifier: func(int) (ml.Classifier, error) {
+			return tree.New(tree.Config{Criterion: tree.Gini, MinSplit: 5, CP: 1e-3}), nil
+		}}
+	}
+	joinTrain, joinTest := gen(true, 900, rng.New(13)), gen(true, 400, rng.New(17))
+	noTrain, noTest := gen(false, 900, rng.New(13)), gen(false, 400, rng.New(17))
+	join, no := mk(), mk()
+	if err := join.Fit(joinTrain); err != nil {
+		t.Fatal(err)
+	}
+	if err := no.Fit(noTrain); err != nil {
+		t.Fatal(err)
+	}
+	ja, nj := join.Accuracy(joinTest), no.Accuracy(noTest)
+	if ja < 0.85 || nj < 0.85 {
+		t.Fatalf("accuracies too low: %v %v", ja, nj)
+	}
+	if diff := ja - nj; diff > 0.03 || diff < -0.03 {
+		t.Fatalf("multi-class NoJoin %v must track JoinAll %v", nj, ja)
+	}
+}

@@ -1,0 +1,54 @@
+package nb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// BackwardSelect fits Naive Bayes on train and greedily deactivates
+// features: at each round it tentatively drops each remaining feature,
+// keeps the drop that most improves validation accuracy, and stops when no
+// single drop improves it. The fitted model with its final active set is
+// returned along with the validation accuracy achieved.
+//
+// The conditional tables are fitted once; dropping a feature under Naive
+// Bayes just omits its likelihood term, so the wrapper's cost is entirely
+// validation scans — O(rounds × features × |validation|), the cost profile
+// that makes the Figure 1 NB runtimes so sensitive to avoiding joins.
+func BackwardSelect(cfg Config, train, validation *ml.Dataset) (*NaiveBayes, float64, error) {
+	if validation.NumExamples() == 0 {
+		return nil, 0, fmt.Errorf("nb: empty validation set")
+	}
+	model := New(cfg)
+	if err := model.Fit(train); err != nil {
+		return nil, 0, err
+	}
+	best := ml.Accuracy(model, validation)
+	for {
+		bestDrop := -1
+		bestAcc := best
+		for _, j := range model.ActiveFeatures() {
+			if len(model.ActiveFeatures()) == 1 {
+				break // never drop the last feature
+			}
+			model.SetActive(j, false)
+			acc := ml.Accuracy(model, validation)
+			model.SetActive(j, true)
+			if acc > bestAcc+1e-12 {
+				bestAcc = acc
+				bestDrop = j
+			}
+		}
+		if bestDrop < 0 {
+			return model, best, nil
+		}
+		model.SetActive(bestDrop, false)
+		best = bestAcc
+	}
+}
+
+// ln is a tiny indirection so nb.go needn't import math directly in call
+// sites (kept for readability of the likelihood code).
+func ln(x float64) float64 { return math.Log(x) }

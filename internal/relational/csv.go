@@ -1,0 +1,96 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the table as CSV: a header row of column names
+// followed by one row per tuple. Values are written as their labels when the
+// domain is labeled, otherwise as integer codes.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return fmt.Errorf("relational: csv header: %w", err)
+	}
+	rec := make([]string, t.Schema.Width())
+	for i := 0; i < t.NumRows(); i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			d := t.Schema.Cols[j].Domain
+			if d.Labels != nil {
+				rec[j] = d.Labels[v]
+			} else {
+				rec[j] = strconv.Itoa(int(v))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relational: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream into a table with the given schema. The header
+// must match the schema's column names exactly and in order. Unlabeled
+// domains expect integer codes; labeled domains expect labels.
+func ReadCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relational: csv header: %w", err)
+	}
+	names := schema.Names()
+	if len(header) != len(names) {
+		return nil, fmt.Errorf("relational: csv has %d columns, schema has %d", len(header), len(names))
+	}
+	for i := range names {
+		if header[i] != names[i] {
+			return nil, fmt.Errorf("relational: csv column %d is %q, schema expects %q", i, header[i], names[i])
+		}
+	}
+	// Build label lookup per labeled column.
+	lookups := make([]map[string]Value, schema.Width())
+	for j, c := range schema.Cols {
+		if c.Domain.Labels != nil {
+			m := make(map[string]Value, c.Domain.Size)
+			for v, lab := range c.Domain.Labels {
+				m[lab] = Value(v)
+			}
+			lookups[j] = m
+		}
+	}
+	t := NewTable(name, schema, 64)
+	row := make([]Value, schema.Width())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relational: csv line %d: %w", line, err)
+		}
+		for j, field := range rec {
+			if lookups[j] != nil {
+				v, ok := lookups[j][field]
+				if !ok {
+					return nil, fmt.Errorf("relational: csv line %d column %q: unknown label %q", line, names[j], field)
+				}
+				row[j] = v
+				continue
+			}
+			iv, err := strconv.Atoi(field)
+			if err != nil {
+				return nil, fmt.Errorf("relational: csv line %d column %q: %w", line, names[j], err)
+			}
+			row[j] = Value(iv)
+		}
+		if err := t.AppendRow(row); err != nil {
+			return nil, fmt.Errorf("relational: csv line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}

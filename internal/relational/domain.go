@@ -1,0 +1,201 @@
+// Package relational implements the star-schema substrate the paper's study
+// runs on: categorical columns with closed finite domains, fact and dimension
+// tables linked by key–foreign-key (KFK) constraints, and the projected
+// equi-join T ← π(R ⋈_{RID=FK} S) that materializes the full training table.
+//
+// The paper's setting (§2) assumes all features are categorical with known
+// finite domains (an "Others" placeholder absorbs unseen values), that the
+// fact table S carries the target Y and foreign keys FK_1..FK_q, and that
+// each dimension table R_i contributes foreign features X_Ri functionally
+// determined by FK_i. This package enforces and can verify that functional
+// dependency, which is the entire basis for avoiding joins safely.
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is the integer code of a categorical value within its Domain.
+// Code -1 is reserved to mean "missing / not applicable" and never appears
+// in a valid materialized table.
+type Value = int32
+
+// Domain is a closed, finite categorical domain. Values are dense codes
+// [0, Size); Labels optionally names them for display. The paper assumes all
+// feature domains are closed (§2.2): foreign keys draw values only from the
+// referenced table's primary-key column, and an "Others" label can be a
+// member like any other.
+type Domain struct {
+	Name   string
+	Size   int
+	Labels []string // optional, len == Size when present
+}
+
+// NewDomain creates an anonymous domain of the given size.
+func NewDomain(name string, size int) *Domain {
+	if size <= 0 {
+		panic(fmt.Sprintf("relational: domain %q must have positive size, got %d", name, size))
+	}
+	return &Domain{Name: name, Size: size}
+}
+
+// NewLabeledDomain creates a domain whose values carry display labels.
+func NewLabeledDomain(name string, labels []string) *Domain {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("relational: labeled domain %q must have at least one label", name))
+	}
+	return &Domain{Name: name, Size: len(labels), Labels: append([]string(nil), labels...)}
+}
+
+// Label returns the display label of code v, or a synthesized one.
+func (d *Domain) Label(v Value) string {
+	if int(v) < 0 || int(v) >= d.Size {
+		return fmt.Sprintf("%s<invalid:%d>", d.Name, v)
+	}
+	if d.Labels != nil {
+		return d.Labels[v]
+	}
+	return fmt.Sprintf("%s=%d", d.Name, v)
+}
+
+// Contains reports whether code v is a member of the domain.
+func (d *Domain) Contains(v Value) bool {
+	return v >= 0 && int(v) < d.Size
+}
+
+// ColumnKind distinguishes the roles a column can play in the paper's
+// notation: plain features (X_S, X_R), primary keys (RID), foreign keys
+// (FK_i), and the class label Y.
+type ColumnKind int
+
+const (
+	// KindFeature is an ordinary categorical feature column.
+	KindFeature ColumnKind = iota
+	// KindPrimaryKey is a dimension table's RID column.
+	KindPrimaryKey
+	// KindForeignKey is a fact-table column referencing a dimension RID.
+	KindForeignKey
+	// KindTarget is the class label Y (binary in this study).
+	KindTarget
+)
+
+func (k ColumnKind) String() string {
+	switch k {
+	case KindFeature:
+		return "feature"
+	case KindPrimaryKey:
+		return "primary-key"
+	case KindForeignKey:
+		return "foreign-key"
+	case KindTarget:
+		return "target"
+	default:
+		return fmt.Sprintf("ColumnKind(%d)", int(k))
+	}
+}
+
+// Column describes one column of a table: a name, a kind, a domain, and —
+// for foreign keys — the name of the referenced dimension table.
+type Column struct {
+	Name   string
+	Kind   ColumnKind
+	Domain *Domain
+	// Refs names the dimension table a KindForeignKey column references.
+	Refs string
+	// Open marks a foreign key whose domain is "open" in the paper's sense
+	// (e.g. Expedia's search id): past values never recur, so the column can
+	// never be used as a feature and its dimension table can never be
+	// discarded via the FK-as-representative argument.
+	Open bool
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema and indexes columns by name. Duplicate column
+// names are rejected.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range s.Cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relational: column %d has empty name", i)
+		}
+		if c.Domain == nil {
+			return nil, fmt.Errorf("relational: column %q has nil domain", c.Name)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relational: duplicate column name %q", c.Name)
+		}
+		if c.Kind == KindForeignKey && c.Refs == "" {
+			return nil, fmt.Errorf("relational: foreign key %q missing referenced table", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema for statically known-correct schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column and whether it exists.
+func (s *Schema) Column(name string) (Column, bool) {
+	i := s.Index(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return s.Cols[i], true
+}
+
+// Width returns the number of columns.
+func (s *Schema) Width() int { return len(s.Cols) }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnsOfKind returns the indices of all columns with the given kind,
+// in schema order.
+func (s *Schema) ColumnsOfKind(k ColumnKind) []int {
+	var out []int
+	for i, c := range s.Cols {
+		if c.Kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FeatureNames returns the names of all KindFeature columns.
+func (s *Schema) FeatureNames() []string {
+	var out []string
+	for _, c := range s.Cols {
+		if c.Kind == KindFeature {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,51 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary byte streams into the CSV reader; it must
+// never panic and must only accept inputs that round-trip cleanly.
+func FuzzReadCSV(f *testing.F) {
+	schema := MustSchema(
+		Column{Name: "Y", Kind: KindTarget, Domain: NewLabeledDomain("Y", []string{"no", "yes"})},
+		Column{Name: "x", Kind: KindFeature, Domain: NewDomain("x", 4)},
+	)
+	f.Add("Y,x\nno,0\nyes,3\n")
+	f.Add("Y,x\n")
+	f.Add("")
+	f.Add("Y,x\nno,9\n")       // out of domain
+	f.Add("Y,x\nmaybe,1\n")    // unknown label
+	f.Add("A,B\nno,0\n")       // wrong header
+	f.Add("Y,x\nno\n")         // short row
+	f.Add("Y,x\nno,0,extra\n") // long row
+	f.Add("Y,x\r\nno,0\r\n")   // CRLF
+	f.Add("Y,x\n\"no\",\"1\"\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadCSV(strings.NewReader(input), "fuzz", schema)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip: write then re-read identically.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tab); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf, "fuzz2", schema)
+		if err != nil {
+			t.Fatalf("serialized table failed to parse: %v", err)
+		}
+		if back.NumRows() != tab.NumRows() {
+			t.Fatalf("round trip changed row count: %d vs %d", back.NumRows(), tab.NumRows())
+		}
+		for i := 0; i < tab.NumRows(); i++ {
+			for j := 0; j < schema.Width(); j++ {
+				if tab.At(i, j) != back.At(i, j) {
+					t.Fatalf("round trip changed cell (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// Join materializes the projected KFK equi-join
+//
+//	T ← π(R_1 ⋈ … ⋈ R_q ⋈ S)
+//
+// that the paper calls JoinAll's input: the fact table's columns followed by
+// every dimension table's feature columns (primary keys are dropped — they
+// are redundant with the FK columns). Because each dimension's primary key is
+// the dense identity, each lookup is a direct row index and the join is a
+// single O(n_S · width) pass.
+//
+// The output schema order is: all fact columns (target, home features,
+// foreign keys), then for each FK in fact-schema order, the referenced
+// dimension's feature columns renamed "<dim>.<col>". Open-domain FKs still
+// join (the paper joins Expedia's search table); openness only matters for
+// which columns a feature view may use.
+func Join(ss *StarSchema) (*Table, error) {
+	fact := ss.Fact
+	fkCols := fact.Schema.ColumnsOfKind(KindForeignKey)
+
+	cols := append([]Column(nil), fact.Schema.Cols...)
+	type dimPlan struct {
+		fkCol   int
+		dim     *Table
+		featIdx []int
+	}
+	var plans []dimPlan
+	for _, fkCol := range fkCols {
+		ref := fact.Schema.Cols[fkCol].Refs
+		dim := ss.Dimensions[ref]
+		if dim == nil {
+			return nil, fmt.Errorf("relational: join: unknown dimension %q", ref)
+		}
+		var featIdx []int
+		for i, c := range dim.Schema.Cols {
+			if c.Kind == KindFeature {
+				featIdx = append(featIdx, i)
+				cols = append(cols, Column{
+					Name:   dim.Name + "." + c.Name,
+					Kind:   KindFeature,
+					Domain: c.Domain,
+				})
+			}
+		}
+		plans = append(plans, dimPlan{fkCol: fkCol, dim: dim, featIdx: featIdx})
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("relational: join: %w", err)
+	}
+
+	out := NewTable(fact.Name+"_joined", schema, fact.NumRows())
+	row := make([]Value, schema.Width())
+	for i := 0; i < fact.NumRows(); i++ {
+		copy(row, fact.Row(i))
+		at := fact.Schema.Width()
+		for _, p := range plans {
+			fk := fact.At(i, p.fkCol)
+			if int(fk) >= p.dim.NumRows() || fk < 0 {
+				return nil, fmt.Errorf("relational: join: fact row %d FK %q = %d has no match in %q",
+					i, fact.Schema.Cols[p.fkCol].Name, fk, p.dim.Name)
+			}
+			dimRow := p.dim.Row(int(fk))
+			for _, fi := range p.featIdx {
+				row[at] = dimRow[fi]
+				at++
+			}
+		}
+		out.rows = append(out.rows, row...)
+	}
+	return out, nil
+}
+
+// VerifyFD checks that the functional dependency det → dep holds in table t:
+// every pair of rows agreeing on column det also agrees on column dep. This
+// is the property (FK → X_R in the join output) that makes avoiding joins
+// safe at all; the simulation and dataset generators are validated with it.
+func VerifyFD(t *Table, det, dep int) error {
+	detDom := t.Schema.Cols[det].Domain.Size
+	seen := make([]Value, detDom)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		d := t.At(i, det)
+		v := t.At(i, dep)
+		if seen[d] == -1 {
+			seen[d] = v
+			continue
+		}
+		if seen[d] != v {
+			return fmt.Errorf("relational: FD %s→%s violated at row %d: %s=%d maps to both %d and %d",
+				t.Schema.Cols[det].Name, t.Schema.Cols[dep].Name, i, t.Schema.Cols[det].Name, d, seen[d], v)
+		}
+	}
+	return nil
+}
+
+// VerifyKFKFDs verifies, on a joined table, that each foreign key column
+// functionally determines every feature column brought in from its
+// dimension table (columns named "<dim>.<feat>").
+func VerifyKFKFDs(joined *Table, ss *StarSchema) error {
+	for _, fkCol := range joined.Schema.ColumnsOfKind(KindForeignKey) {
+		ref := joined.Schema.Cols[fkCol].Refs
+		prefix := ref + "."
+		for i, c := range joined.Schema.Cols {
+			if c.Kind == KindFeature && len(c.Name) > len(prefix) && c.Name[:len(prefix)] == prefix {
+				if err := VerifyFD(joined, fkCol, i); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Predicate decides whether a row belongs to a selection result.
+type Predicate func(row []Value) bool
+
+// Select (relational σ) materializes the rows of t satisfying pred, in
+// order. Data scientists building fact tables from raw event tables need σ
+// and π constantly; these helpers keep that preprocessing inside the
+// library instead of ad-hoc loops.
+func Select(t *Table, name string, pred Predicate) *Table {
+	out := NewTable(name, t.Schema, 0)
+	for i := 0; i < t.NumRows(); i++ {
+		row := t.Row(i)
+		if pred(row) {
+			out.rows = append(out.rows, row...)
+		}
+	}
+	return out
+}
+
+// SelectEq is Select with an equality predicate on one column.
+func SelectEq(t *Table, name string, col int, v Value) (*Table, error) {
+	if col < 0 || col >= t.Schema.Width() {
+		return nil, fmt.Errorf("relational: column %d out of range", col)
+	}
+	if !t.Schema.Cols[col].Domain.Contains(v) {
+		return nil, fmt.Errorf("relational: value %d outside domain of %q", v, t.Schema.Cols[col].Name)
+	}
+	return Select(t, name, func(row []Value) bool { return row[col] == v }), nil
+}
+
+// Project (relational π) materializes a new table with only the named
+// columns, in the given order. Projection never deduplicates (bag
+// semantics), matching the paper's π in T ← π(R ⋈ S).
+func Project(t *Table, name string, cols []string) (*Table, error) {
+	idx := make([]int, len(cols))
+	newCols := make([]Column, len(cols))
+	for j, c := range cols {
+		i := t.Schema.Index(c)
+		if i < 0 {
+			return nil, fmt.Errorf("relational: project: unknown column %q", c)
+		}
+		idx[j] = i
+		newCols[j] = t.Schema.Cols[i]
+	}
+	schema, err := NewSchema(newCols...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(name, schema, t.NumRows())
+	row := make([]Value, len(idx))
+	for i := 0; i < t.NumRows(); i++ {
+		src := t.Row(i)
+		for j, c := range idx {
+			row[j] = src[c]
+		}
+		out.rows = append(out.rows, row...)
+	}
+	return out, nil
+}
+
+// GroupCount is one group of GroupBy: the grouping value and its row count.
+type GroupCount struct {
+	Value Value
+	Count int
+}
+
+// GroupBy counts rows per value of one column, sorted by descending count
+// (ties by ascending value). It is the workhorse behind tuple-ratio
+// estimation from raw data and FK skew inspection.
+func GroupBy(t *Table, col int) ([]GroupCount, error) {
+	if col < 0 || col >= t.Schema.Width() {
+		return nil, fmt.Errorf("relational: column %d out of range", col)
+	}
+	counts := make(map[Value]int)
+	for i := 0; i < t.NumRows(); i++ {
+		counts[t.At(i, col)]++
+	}
+	out := make([]GroupCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, GroupCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	return out, nil
+}
+
+// DistinctCount returns the number of distinct values in a column — the
+// n_R estimate when the dimension table itself is unavailable and the tuple
+// ratio must be derived from the fact table's FK column alone.
+func DistinctCount(t *Table, col int) (int, error) {
+	groups, err := GroupBy(t, col)
+	if err != nil {
+		return 0, err
+	}
+	return len(groups), nil
+}
+
+// EstimateTupleRatio computes n_S / distinct(FK) from a fact table alone:
+// the advisor's decision statistic when even the dimension table's
+// cardinality is unknown. It errs on the optimistic side (distinct observed
+// values ≤ |D_FK|), so callers comparing against a safety threshold get a
+// conservative *decision* — a smaller denominator would only raise the
+// ratio; using the full domain size when known is still preferred.
+func EstimateTupleRatio(fact *Table, fkCol int) (float64, error) {
+	c := fact.Schema.Cols[fkCol]
+	if c.Kind != KindForeignKey {
+		return 0, fmt.Errorf("relational: column %q is %v, not a foreign key", c.Name, c.Kind)
+	}
+	d, err := DistinctCount(fact, fkCol)
+	if err != nil {
+		return 0, err
+	}
+	if d == 0 {
+		return 0, fmt.Errorf("relational: empty fact table")
+	}
+	return float64(fact.NumRows()) / float64(d), nil
+}

@@ -1,0 +1,43 @@
+package relational
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Split holds the three-way partition the paper uses for every dataset:
+// 50% training, 25% validation (grid search / feature selection), 25%
+// holdout test (§3.2).
+type Split struct {
+	Train, Validation, Test *Table
+}
+
+// SplitFractions splits table rows into train/validation/test by the given
+// fractions after a seeded shuffle. Fractions must be positive and sum to at
+// most 1; the test split receives the remainder.
+func SplitFractions(t *Table, trainFrac, valFrac float64, r *rng.RNG) (Split, error) {
+	if trainFrac <= 0 || valFrac <= 0 || trainFrac+valFrac >= 1 {
+		return Split{}, fmt.Errorf("relational: invalid split fractions train=%v val=%v", trainFrac, valFrac)
+	}
+	n := t.NumRows()
+	if n < 4 {
+		return Split{}, fmt.Errorf("relational: table %q too small to split (%d rows)", t.Name, n)
+	}
+	perm := r.Perm(n)
+	nTrain := int(float64(n) * trainFrac)
+	nVal := int(float64(n) * valFrac)
+	if nTrain == 0 || nVal == 0 || nTrain+nVal >= n {
+		return Split{}, fmt.Errorf("relational: degenerate split of %d rows", n)
+	}
+	return Split{
+		Train:      t.SelectRows(t.Name+"_train", perm[:nTrain]),
+		Validation: t.SelectRows(t.Name+"_val", perm[nTrain:nTrain+nVal]),
+		Test:       t.SelectRows(t.Name+"_test", perm[nTrain+nVal:]),
+	}, nil
+}
+
+// PaperSplit applies the paper's fixed 50/25/25 partition.
+func PaperSplit(t *Table, r *rng.RNG) (Split, error) {
+	return SplitFractions(t, 0.50, 0.25, r)
+}

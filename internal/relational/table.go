@@ -1,0 +1,188 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// Table is a column-named, row-major matrix of categorical codes. Rows are
+// stored contiguously ([]Value of length Width per row) for cache-friendly
+// scans; all learners in this repository consume tables through views that
+// avoid copying.
+type Table struct {
+	Name   string
+	Schema *Schema
+	rows   []Value // len == NumRows * Schema.Width()
+}
+
+// NewTable creates an empty table with capacity hint rows.
+func NewTable(name string, schema *Schema, capHint int) *Table {
+	return &Table{
+		Name:   name,
+		Schema: schema,
+		rows:   make([]Value, 0, capHint*schema.Width()),
+	}
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	w := t.Schema.Width()
+	if w == 0 {
+		return 0
+	}
+	return len(t.rows) / w
+}
+
+// AppendRow appends one row after validating width and domain membership.
+func (t *Table) AppendRow(row []Value) error {
+	w := t.Schema.Width()
+	if len(row) != w {
+		return fmt.Errorf("relational: table %q expects %d columns, row has %d", t.Name, w, len(row))
+	}
+	for i, v := range row {
+		if !t.Schema.Cols[i].Domain.Contains(v) {
+			return fmt.Errorf("relational: table %q column %q: value %d outside domain of size %d",
+				t.Name, t.Schema.Cols[i].Name, v, t.Schema.Cols[i].Domain.Size)
+		}
+	}
+	t.rows = append(t.rows, row...)
+	return nil
+}
+
+// MustAppendRow is AppendRow for generator code where rows are correct by
+// construction.
+func (t *Table) MustAppendRow(row []Value) {
+	if err := t.AppendRow(row); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns a read-only view of row i. The returned slice aliases the
+// table's storage; callers must not modify it.
+func (t *Table) Row(i int) []Value {
+	w := t.Schema.Width()
+	return t.rows[i*w : (i+1)*w : (i+1)*w]
+}
+
+// At returns the value at (row, col).
+func (t *Table) At(row, col int) Value {
+	return t.rows[row*t.Schema.Width()+col]
+}
+
+// Set overwrites the value at (row, col) after a domain check.
+func (t *Table) Set(row, col int, v Value) error {
+	if !t.Schema.Cols[col].Domain.Contains(v) {
+		return fmt.Errorf("relational: table %q column %q: value %d outside domain",
+			t.Name, t.Schema.Cols[col].Name, v)
+	}
+	t.rows[row*t.Schema.Width()+col] = v
+	return nil
+}
+
+// ColumnValues copies column col into a fresh slice.
+func (t *Table) ColumnValues(col int) []Value {
+	n := t.NumRows()
+	out := make([]Value, n)
+	w := t.Schema.Width()
+	for i := 0; i < n; i++ {
+		out[i] = t.rows[i*w+col]
+	}
+	return out
+}
+
+// SelectRows materializes a new table containing the given row indices in
+// order. Indices may repeat; they must be in range.
+func (t *Table) SelectRows(name string, idx []int) *Table {
+	out := NewTable(name, t.Schema, len(idx))
+	for _, i := range idx {
+		out.rows = append(out.rows, t.Row(i)...)
+	}
+	return out
+}
+
+// Clone deep-copies the table (schema is shared; schemas are immutable by
+// convention).
+func (t *Table) Clone(name string) *Table {
+	out := &Table{Name: name, Schema: t.Schema, rows: append([]Value(nil), t.rows...)}
+	return out
+}
+
+// StarSchema bundles one fact table S with its dimension tables R_1..R_q in
+// the paper's notation. Dimension tables are addressed by name; fact-table
+// foreign-key columns carry the referenced dimension's name in Column.Refs.
+type StarSchema struct {
+	Fact       *Table
+	Dimensions map[string]*Table
+	// TargetCol is the index of the Y column in Fact.
+	TargetCol int
+}
+
+// NewStarSchema validates referential structure: the fact table must have
+// exactly one target column, every FK column must reference a known
+// dimension whose primary key domain matches the FK domain, and every
+// dimension must have exactly one primary-key column whose values are the
+// dense identity (row i has RID i), which is how KFK joins stay O(1).
+func NewStarSchema(fact *Table, dims ...*Table) (*StarSchema, error) {
+	ss := &StarSchema{Fact: fact, Dimensions: make(map[string]*Table, len(dims)), TargetCol: -1}
+	for _, d := range dims {
+		if _, dup := ss.Dimensions[d.Name]; dup {
+			return nil, fmt.Errorf("relational: duplicate dimension table %q", d.Name)
+		}
+		pks := d.Schema.ColumnsOfKind(KindPrimaryKey)
+		if len(pks) != 1 {
+			return nil, fmt.Errorf("relational: dimension %q must have exactly 1 primary key, has %d", d.Name, len(pks))
+		}
+		pk := pks[0]
+		if d.Schema.Cols[pk].Domain.Size != d.NumRows() {
+			return nil, fmt.Errorf("relational: dimension %q primary key domain size %d != row count %d",
+				d.Name, d.Schema.Cols[pk].Domain.Size, d.NumRows())
+		}
+		for i := 0; i < d.NumRows(); i++ {
+			if d.At(i, pk) != Value(i) {
+				return nil, fmt.Errorf("relational: dimension %q row %d has RID %d; dense identity required",
+					d.Name, i, d.At(i, pk))
+			}
+		}
+		ss.Dimensions[d.Name] = d
+	}
+	targets := fact.Schema.ColumnsOfKind(KindTarget)
+	if len(targets) != 1 {
+		return nil, fmt.Errorf("relational: fact table %q must have exactly 1 target column, has %d", fact.Name, len(targets))
+	}
+	ss.TargetCol = targets[0]
+	for _, fkCol := range fact.Schema.ColumnsOfKind(KindForeignKey) {
+		c := fact.Schema.Cols[fkCol]
+		dim, ok := ss.Dimensions[c.Refs]
+		if !ok {
+			return nil, fmt.Errorf("relational: fact FK %q references unknown dimension %q", c.Name, c.Refs)
+		}
+		pk := dim.Schema.ColumnsOfKind(KindPrimaryKey)[0]
+		if dim.Schema.Cols[pk].Domain.Size != c.Domain.Size {
+			return nil, fmt.Errorf("relational: FK %q domain size %d != dimension %q key domain size %d",
+				c.Name, c.Domain.Size, c.Refs, dim.Schema.Cols[pk].Domain.Size)
+		}
+	}
+	return ss, nil
+}
+
+// DimensionNames returns dimension table names in fact-schema FK order.
+func (ss *StarSchema) DimensionNames() []string {
+	var out []string
+	for _, fkCol := range ss.Fact.Schema.ColumnsOfKind(KindForeignKey) {
+		out = append(out, ss.Fact.Schema.Cols[fkCol].Refs)
+	}
+	return out
+}
+
+// TupleRatio returns n_S / n_R for the named dimension table — the paper's
+// central decision statistic. Crucially this needs only the dimension
+// table's *cardinality* (its key domain size), not its contents, which is
+// why the decision can be made before procuring the table.
+func (ss *StarSchema) TupleRatio(dim string) (float64, error) {
+	for _, fkCol := range ss.Fact.Schema.ColumnsOfKind(KindForeignKey) {
+		c := ss.Fact.Schema.Cols[fkCol]
+		if c.Refs == dim {
+			return float64(ss.Fact.NumRows()) / float64(c.Domain.Size), nil
+		}
+	}
+	return 0, fmt.Errorf("relational: no foreign key references dimension %q", dim)
+}

@@ -1,0 +1,97 @@
+// Package report exports experiment results as CSV and JSON so the rendered
+// text tables can be re-plotted outside Go (the paper's figures are line
+// plots; the cmd/ binaries print series, and this package gives them a
+// machine-readable form).
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/ml"
+)
+
+// WriteAccuracyCSV exports Tables 2/3/5/6-style cells as CSV with columns
+// dataset, model, view, test_acc, train_acc.
+func WriteAccuracyCSV(w io.Writer, cells []experiments.AccuracyCell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "model", "view", "test_acc", "train_acc"}); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Dataset, c.Model, c.View.String(),
+			strconv.FormatFloat(c.TestAcc, 'f', 6, 64),
+			strconv.FormatFloat(c.TrainAcc, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePanelCSV exports a simulation figure panel as CSV with one row per
+// swept value: param, then per-view avg test error, bias, and net variance.
+func WritePanelCSV(w io.Writer, p experiments.Panel) error {
+	cw := csv.NewWriter(w)
+	header := []string{"figure", "panel", "learner", "param"}
+	for _, v := range []ml.View{ml.JoinAll, ml.NoJoin, ml.NoFK} {
+		header = append(header,
+			v.String()+"_err", v.String()+"_bias", v.String()+"_netvar")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	for _, pt := range p.Points {
+		rec := []string{p.Figure, p.Label, p.Learner, strconv.FormatFloat(pt.Param, 'g', -1, 64)}
+		for _, v := range []ml.View{ml.JoinAll, ml.NoJoin, ml.NoFK} {
+			d := pt.Views[v]
+			rec = append(rec,
+				strconv.FormatFloat(d.AvgTestError, 'f', 6, 64),
+				strconv.FormatFloat(d.AvgBias, 'f', 6, 64),
+				strconv.FormatFloat(d.NetVariance, 'f', 6, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Bundle collects every artifact of a full reproduction run for JSON export.
+type Bundle struct {
+	// Cells holds accuracy results (Tables 2/3/5/6).
+	Cells []experiments.AccuracyCell `json:"cells,omitempty"`
+	// Panels holds simulation series (Figures 2-9).
+	Panels []experiments.Panel `json:"panels,omitempty"`
+	// Compression holds Figure 10 panels.
+	Compression []experiments.CompressionPanel `json:"compression,omitempty"`
+	// Smoothing holds Figure 11 panels.
+	Smoothing []experiments.SmoothingPanel `json:"smoothing,omitempty"`
+}
+
+// WriteJSON exports a bundle as indented JSON.
+func WriteJSON(w io.Writer, b Bundle) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a bundle previously written by WriteJSON.
+func ReadJSON(r io.Reader) (Bundle, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Bundle{}, fmt.Errorf("report: %w", err)
+	}
+	return b, nil
+}

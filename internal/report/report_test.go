@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/sim"
+)
+
+func sampleCells() []experiments.AccuracyCell {
+	return []experiments.AccuracyCell{
+		{Dataset: "Yelp", Model: "DecisionTree(gini)", View: ml.JoinAll, TestAcc: 0.88, TrainAcc: 0.94},
+		{Dataset: "Yelp", Model: "DecisionTree(gini)", View: ml.NoJoin, TestAcc: 0.88, TrainAcc: 0.94},
+	}
+}
+
+func samplePanel() experiments.Panel {
+	var views [3]sim.ViewResult
+	views[ml.JoinAll].AvgTestError = 0.1
+	views[ml.NoJoin].AvgTestError = 0.11
+	views[ml.NoFK].AvgTestError = 0.09
+	views[ml.NoJoin].NetVariance = 0.02
+	return experiments.Panel{
+		Figure: "2", Label: "B", XName: "nR", Learner: "DecisionTree(gini)",
+		Points: []sim.SweepPoint{
+			{Param: 40, RunResult: sim.RunResult{Views: views}},
+		},
+	}
+}
+
+func TestWriteAccuracyCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAccuracyCSV(&buf, sampleCells()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines", len(lines))
+	}
+	if lines[0] != "dataset,model,view,test_acc,train_acc" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Yelp,DecisionTree(gini),JoinAll,0.880000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWritePanelCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePanelCSV(&buf, samplePanel()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "JoinAll_err") || !strings.Contains(out, "NoJoin_netvar") {
+		t.Fatalf("header missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "2,B,DecisionTree(gini),40") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.020000") {
+		t.Fatalf("net variance missing:\n%s", out)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := Bundle{
+		Cells:  sampleCells(),
+		Panels: []experiments.Panel{samplePanel()},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 2 || back.Cells[0].Dataset != "Yelp" {
+		t.Fatalf("cells round trip wrong: %+v", back.Cells)
+	}
+	if len(back.Panels) != 1 || back.Panels[0].Points[0].Param != 40 {
+		t.Fatalf("panels round trip wrong: %+v", back.Panels)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,83 @@
+package rng
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^s. A skew parameter s = 0 degenerates to the uniform
+// distribution, matching how the paper sweeps the "Zipfian skew parameter"
+// from 0 upward in the foreign-key skew experiments (Figure 5 A–B).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for a Zipf(s) distribution over n values.
+// It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf needs n > 0")
+	}
+	if s < 0 {
+		panic("rng: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one value in [0, N).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// NeedleAndThread samples integers in [0, n) where one designated value (the
+// "needle", index 0) receives probability mass p and the remaining mass 1-p
+// is spread uniformly over the other n-1 values (the "thread"). This is the
+// second foreign-key skew model from the paper's Figure 5 C–D.
+type NeedleAndThread struct {
+	n int
+	p float64
+}
+
+// NewNeedleAndThread constructs the distribution. It panics on invalid
+// arguments (n < 2 or p outside [0, 1]).
+func NewNeedleAndThread(n int, p float64) *NeedleAndThread {
+	if n < 2 {
+		panic("rng: NeedleAndThread needs n >= 2")
+	}
+	if p < 0 || p > 1 {
+		panic("rng: needle probability must be in [0,1]")
+	}
+	return &NeedleAndThread{n: n, p: p}
+}
+
+// N returns the domain size.
+func (d *NeedleAndThread) N() int { return d.n }
+
+// Sample draws one value; index 0 is the needle.
+func (d *NeedleAndThread) Sample(r *RNG) int {
+	if r.Bernoulli(d.p) {
+		return 0
+	}
+	return 1 + r.Intn(d.n-1)
+}

@@ -1,0 +1,362 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child stream must not equal the parent's subsequent stream.
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("parent and child streams matched %d/100 draws", equal)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	mk := func() []uint64 {
+		r := New(99)
+		c1 := r.Split()
+		c2 := r.Split()
+		out := make([]uint64, 0, 20)
+		for i := 0; i < 10; i++ {
+			out = append(out, c1.Uint64(), c2.Uint64())
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("split streams not reproducible at %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const k, n = 10, 100000
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(k)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("value %d frequency %v deviates from 0.1", v, frac)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 5, 50} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermIsPermutationQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(17)
+	const n = 50000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		frac := float64(hits) / n
+		if math.Abs(frac-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) frequency %v", p, frac)
+		}
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	r := New(19)
+	w := []float64{1, 2, 7}
+	const n = 70000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-want[i]) > 0.01 {
+			t.Fatalf("Categorical index %d frequency %v, want %v", i, frac, want[i])
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for _, w := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for weights %v", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(23)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	r := New(29)
+	const n = 100000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for v, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("Zipf(0) value %d frequency %v", v, frac)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	z := NewZipf(100, 2)
+	r := New(31)
+	const n = 50000
+	first := 0
+	for i := 0; i < n; i++ {
+		if z.Sample(r) == 0 {
+			first++
+		}
+	}
+	// With s=2 over 100 values, P(0) = 1/H ≈ 0.62.
+	frac := float64(first) / n
+	if frac < 0.55 || frac > 0.70 {
+		t.Fatalf("Zipf(2) head mass %v, want ≈0.62", frac)
+	}
+}
+
+func TestZipfMonotoneProbabilities(t *testing.T) {
+	z := NewZipf(50, 1.5)
+	r := New(37)
+	const n = 200000
+	counts := make([]int, 50)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Allow small sampling noise but require broad monotone decrease.
+	violations := 0
+	for i := 1; i < 10; i++ {
+		if counts[i] > counts[i-1] {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("Zipf head counts not decreasing: %v", counts[:10])
+	}
+}
+
+func TestNeedleAndThread(t *testing.T) {
+	d := NewNeedleAndThread(40, 0.5)
+	r := New(41)
+	const n = 100000
+	needle := 0
+	thread := make([]int, 40)
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		thread[v]++
+		if v == 0 {
+			needle++
+		}
+	}
+	frac := float64(needle) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("needle mass %v, want 0.5", frac)
+	}
+	// Thread values share the other half ≈ 0.5/39 each.
+	for v := 1; v < 40; v++ {
+		f := float64(thread[v]) / n
+		if math.Abs(f-0.5/39) > 0.005 {
+			t.Fatalf("thread value %d mass %v", v, f)
+		}
+	}
+}
+
+func TestNeedleAndThreadExtremes(t *testing.T) {
+	r := New(43)
+	all := NewNeedleAndThread(5, 1)
+	for i := 0; i < 100; i++ {
+		if all.Sample(r) != 0 {
+			t.Fatal("p=1 must always return the needle")
+		}
+	}
+	none := NewNeedleAndThread(5, 0)
+	for i := 0; i < 100; i++ {
+		if none.Sample(r) == 0 {
+			t.Fatal("p=0 must never return the needle")
+		}
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	// Must not panic and must produce variation.
+	a, b := r.Uint64(), r.Uint64()
+	if a == b {
+		t.Fatal("zero-value RNG produced identical consecutive values")
+	}
+}
+
+func TestShuffleSwapCoverage(t *testing.T) {
+	r := New(47)
+	xs := []string{"a", "b", "c", "d", "e"}
+	orig := append([]string(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	// Same multiset.
+	seen := map[string]int{}
+	for _, v := range xs {
+		seen[v]++
+	}
+	for _, v := range orig {
+		seen[v]--
+	}
+	for k, c := range seen {
+		if c != 0 {
+			t.Fatalf("shuffle changed multiset at %q", k)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(10000, 1.2)
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample(r)
+	}
+	_ = sink
+}

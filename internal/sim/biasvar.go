@@ -1,0 +1,108 @@
+package sim
+
+import "fmt"
+
+// Decomposition is the Domingos (2000) bias–variance decomposition of 0-1
+// loss over a fixed test set and L training sets, the quantity the paper
+// plots in Figure 4 to explain where NoJoin's extra error comes from.
+//
+// For each test point x with Bayes-optimal label y*(x) and predictions
+// ŷ_1..ŷ_L across runs:
+//
+//	main(x)     = majority vote of ŷ_1..ŷ_L
+//	bias(x)     = 1 if main(x) ≠ y*(x), else 0
+//	variance(x) = (1/L) Σ_l 1[ŷ_l ≠ main(x)]
+//
+// and the aggregate terms average over test points, with net variance
+// adding variance on unbiased points and subtracting it on biased points
+// (where variance pushes predictions back toward the optimum):
+//
+//	NetVariance = E_x[variance | bias=0]·P(bias=0) − E_x[variance | bias=1]·P(bias=1)
+type Decomposition struct {
+	AvgBias        float64
+	UnbiasedVar    float64
+	BiasedVar      float64
+	NetVariance    float64
+	AvgTestError   float64 // mean 0-1 loss against the *observed* labels
+	AvgOptimalLoss float64 // mean 0-1 loss of predictions vs Bayes labels
+}
+
+// Decompose computes the decomposition.
+//
+// preds[l][i] is run l's prediction on test point i; bayes[l][i] is the
+// Bayes-optimal label and observed[l][i] the sampled (possibly noisy) label
+// of test point i. MonteCarlo pins one test set, so bayes and observed are
+// identical across runs; the per-run slices are accepted so the function is
+// also usable with run-varying test sets (where it pools by position).
+func Decompose(preds [][]int8, bayes [][]int8, observed [][]int8) (Decomposition, error) {
+	var d Decomposition
+	L := len(preds)
+	if L == 0 {
+		return d, fmt.Errorf("sim: no runs to decompose")
+	}
+	n := len(preds[0])
+	if n == 0 {
+		return d, fmt.Errorf("sim: empty test set")
+	}
+	for l := 0; l < L; l++ {
+		if len(preds[l]) != n || len(bayes[l]) != n || len(observed[l]) != n {
+			return d, fmt.Errorf("sim: run %d has inconsistent test-set size", l)
+		}
+	}
+
+	nUnb, nBias := 0, 0
+	sumVarUnb, sumVarBias := 0.0, 0.0
+	errSum, optSum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		ones := 0
+		for l := 0; l < L; l++ {
+			if preds[l][i] == 1 {
+				ones++
+			}
+			if preds[l][i] != observed[l][i] {
+				errSum++
+			}
+			if preds[l][i] != bayes[l][i] {
+				optSum++
+			}
+		}
+		main := int8(0)
+		if 2*ones >= L {
+			main = 1
+		}
+		variance := 0.0
+		for l := 0; l < L; l++ {
+			if preds[l][i] != main {
+				variance++
+			}
+		}
+		variance /= float64(L)
+		// The Bayes label can vary across runs only through resampled test
+		// rows; pool by majority of the per-run Bayes labels at position i.
+		bOnes := 0
+		for l := 0; l < L; l++ {
+			if bayes[l][i] == 1 {
+				bOnes++
+			}
+		}
+		bMain := int8(0)
+		if 2*bOnes >= L {
+			bMain = 1
+		}
+		if main != bMain {
+			nBias++
+			sumVarBias += variance
+		} else {
+			nUnb++
+			sumVarUnb += variance
+		}
+	}
+	total := float64(n)
+	d.AvgBias = float64(nBias) / total
+	d.UnbiasedVar = sumVarUnb / total
+	d.BiasedVar = sumVarBias / total
+	d.NetVariance = d.UnbiasedVar - d.BiasedVar
+	d.AvgTestError = errSum / (total * float64(L))
+	d.AvgOptimalLoss = optSum / (total * float64(L))
+	return d, nil
+}

@@ -1,0 +1,264 @@
+// Package sim implements the paper's Monte-Carlo simulation study (§4):
+// synthetic two-table KFK joins with controlled "true" distributions, the
+// three scenarios OneXr / XSXR / RepOneXr, foreign-key skew variants, and
+// the Domingos bias–variance decomposition used to quantify the extra
+// overfitting avoiding a join can cause.
+//
+// Every scenario produces a TrialData: the three feature views (JoinAll,
+// NoJoin, NoFK) over freshly sampled train/validation/test splits, plus the
+// Bayes-optimal labels of the test rows so noise can be separated from bias
+// and variance. A fixed Scenario instance pins the true distribution (the
+// dimension table and the target function); successive Sample calls draw
+// independent training sets from it, which is exactly the paper's
+// 100-training-sets protocol.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+// SkewKind selects the foreign-key skew model for OneXr (Figure 5).
+type SkewKind int
+
+const (
+	// SkewNone samples FK uniformly (the base OneXr procedure, step 3).
+	SkewNone SkewKind = iota
+	// SkewZipf samples FK from a Zipf distribution with parameter Param.
+	SkewZipf
+	// SkewNeedle allocates probability mass Param to one FK value and
+	// spreads the rest uniformly ("needle-and-thread").
+	SkewNeedle
+)
+
+func (k SkewKind) String() string {
+	switch k {
+	case SkewNone:
+		return "uniform"
+	case SkewZipf:
+		return "zipf"
+	case SkewNeedle:
+		return "needle"
+	default:
+		return fmt.Sprintf("SkewKind(%d)", int(k))
+	}
+}
+
+// Skew pairs a skew kind with its parameter.
+type Skew struct {
+	Kind  SkewKind
+	Param float64
+}
+
+// TrialData is one sampled train/validation/test triple under all three
+// feature views, plus ground truth for the decomposition.
+type TrialData struct {
+	// Views indexed by ml.View (JoinAll, NoJoin, NoFK).
+	Train [3]*ml.Dataset
+	Val   [3]*ml.Dataset
+	Test  [3]*ml.Dataset
+	// BayesTest[i] is the Bayes-optimal prediction for test row i (the
+	// noise-free label); identical across views.
+	BayesTest []int8
+}
+
+// Scenario generates trials from a fixed true distribution.
+type Scenario interface {
+	// Sample draws one independent trial using the provided stream.
+	Sample(r *rng.RNG) (*TrialData, error)
+	// Name identifies the scenario in reports.
+	Name() string
+}
+
+// OneXr is the paper's worst-case-for-linear-models scenario (§4.1): a lone
+// foreign feature Xr ∈ X_R probabilistically determines Y; every other
+// feature is noise — but FK functionally determines Xr, so FK is a (much
+// wider) proxy for the signal.
+type OneXr struct {
+	NS int // training examples; validation and test are NS/4 each
+	NR int // |D_FK| = dimension table cardinality
+	DS int // number of home features (binary)
+	DR int // number of foreign features (binary); Xr is the first
+	P  float64
+	// DomXr is the domain size of Xr (Figure 2F varies it; default 2).
+	DomXr int
+	Skew  Skew
+
+	// xr[k] is the Xr value of dimension row k: the fixed part of the true
+	// distribution. Populated by Init.
+	xr    []relational.Value
+	restR [][]relational.Value // remaining dR-1 foreign features per row
+}
+
+// NewOneXr fixes the true distribution (the dimension table contents) using
+// initSeed. P is the flip probability: Y = (Xr mod 2) flipped with
+// probability P, so the Bayes error is min(P, 1−P).
+func NewOneXr(nS, nR, dS, dR int, p float64, domXr int, skew Skew, initSeed uint64) (*OneXr, error) {
+	if nS < 8 || nR < 2 || dS < 0 || dR < 1 {
+		return nil, fmt.Errorf("sim: invalid OneXr dimensions (nS=%d nR=%d dS=%d dR=%d)", nS, nR, dS, dR)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("sim: flip probability %v outside [0,1]", p)
+	}
+	if domXr < 2 {
+		domXr = 2
+	}
+	s := &OneXr{NS: nS, NR: nR, DS: dS, DR: dR, P: p, DomXr: domXr, Skew: skew}
+	r := rng.New(initSeed)
+	s.xr = make([]relational.Value, nR)
+	s.restR = make([][]relational.Value, nR)
+	for k := 0; k < nR; k++ {
+		s.xr[k] = relational.Value(r.Intn(domXr))
+		rest := make([]relational.Value, dR-1)
+		for j := range rest {
+			rest[j] = relational.Value(r.Intn(2))
+		}
+		s.restR[k] = rest
+	}
+	return s, nil
+}
+
+// Name implements Scenario.
+func (s *OneXr) Name() string { return "OneXr" }
+
+// bayes returns the Bayes-optimal label for dimension row k.
+func (s *OneXr) bayes(k int) int8 {
+	y := int8(s.xr[k] % 2)
+	if s.P > 0.5 {
+		return 1 - y
+	}
+	return y
+}
+
+// sampleFK draws a foreign key according to the configured skew.
+func (s *OneXr) fkSampler(r *rng.RNG) func() int {
+	switch s.Skew.Kind {
+	case SkewZipf:
+		z := rng.NewZipf(s.NR, s.Skew.Param)
+		return func() int { return z.Sample(r) }
+	case SkewNeedle:
+		d := rng.NewNeedleAndThread(s.NR, s.Skew.Param)
+		return func() int { return d.Sample(r) }
+	default:
+		return func() int { return r.Intn(s.NR) }
+	}
+}
+
+// Dimension materializes the scenario's fixed dimension table R. The
+// Figure 11 smoothing experiments use it as side information for X_R-based
+// FK reassignment.
+func (s *OneXr) Dimension() *relational.Table {
+	keyDom := relational.NewDomain("RID", s.NR)
+	cols := []relational.Column{{Name: "RID", Kind: relational.KindPrimaryKey, Domain: keyDom}}
+	xrDom := relational.NewDomain("Xr", s.DomXr)
+	cols = append(cols, relational.Column{Name: "Xr", Kind: relational.KindFeature, Domain: xrDom})
+	binDom := relational.NewDomain("bit", 2)
+	for j := 1; j < s.DR; j++ {
+		cols = append(cols, relational.Column{Name: fmt.Sprintf("XR%d", j), Kind: relational.KindFeature, Domain: binDom})
+	}
+	dim := relational.NewTable("R", relational.MustSchema(cols...), s.NR)
+	row := make([]relational.Value, len(cols))
+	for k := 0; k < s.NR; k++ {
+		row[0] = relational.Value(k)
+		row[1] = s.xr[k]
+		copy(row[2:], s.restR[k])
+		dim.MustAppendRow(row)
+	}
+	return dim
+}
+
+// Sample implements Scenario. It materializes the star schema, joins it, and
+// carves the three views with the paper's n_S / n_S/4 / n_S/4 sizes.
+func (s *OneXr) Sample(r *rng.RNG) (*TrialData, error) {
+	ss, err := s.buildStar(r)
+	if err != nil {
+		return nil, err
+	}
+	return buildTrial(ss, s.NS, func(factRow []relational.Value, fkCol int) int8 {
+		return s.bayes(int(factRow[fkCol]))
+	})
+}
+
+// buildStar materializes the dimension table and a freshly sampled fact
+// table with nS + nS/4 + nS/4 rows.
+func (s *OneXr) buildStar(r *rng.RNG) (*relational.StarSchema, error) {
+	dim := s.Dimension()
+	keyDom := dim.Schema.Cols[0].Domain
+	binDom := relational.NewDomain("bit", 2)
+
+	fcols := []relational.Column{{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)}}
+	for j := 0; j < s.DS; j++ {
+		fcols = append(fcols, relational.Column{Name: fmt.Sprintf("XS%d", j), Kind: relational.KindFeature, Domain: binDom})
+	}
+	fcols = append(fcols, relational.Column{Name: "FK", Kind: relational.KindForeignKey, Domain: keyDom, Refs: "R"})
+	total := s.NS + 2*(s.NS/4)
+	fact := relational.NewTable("S", relational.MustSchema(fcols...), total)
+	frow := make([]relational.Value, len(fcols))
+	nextFK := s.fkSampler(r)
+	for i := 0; i < total; i++ {
+		for j := 0; j < s.DS; j++ {
+			frow[1+j] = relational.Value(r.Intn(2))
+		}
+		fk := nextFK()
+		frow[len(fcols)-1] = relational.Value(fk)
+		y := s.bayes(fk)
+		if r.Bernoulli(bayesFlip(s.P)) {
+			y = 1 - y
+		}
+		frow[0] = relational.Value(y)
+		fact.MustAppendRow(frow)
+	}
+	return relational.NewStarSchema(fact, dim)
+}
+
+// bayesFlip converts the raw flip probability into the probability of
+// disagreeing with the Bayes-optimal prediction: min(p, 1−p).
+func bayesFlip(p float64) float64 {
+	if p > 0.5 {
+		return 1 - p
+	}
+	return p
+}
+
+// buildTrial joins a star schema, slices the paper's nS / nS/4 / nS/4
+// ranges, and produces the three feature views. bayesOf maps a fact row to
+// its Bayes label (it receives the raw fact row and its FK column index).
+func buildTrial(ss *relational.StarSchema, nS int, bayesOf func(row []relational.Value, fkCol int) int8) (*TrialData, error) {
+	joined, err := relational.Join(ss)
+	if err != nil {
+		return nil, err
+	}
+	nVal := nS / 4
+	trainIdx := rangeIdx(0, nS)
+	valIdx := rangeIdx(nS, nS+nVal)
+	testIdx := rangeIdx(nS+nVal, nS+2*nVal)
+
+	td := &TrialData{}
+	for _, v := range []ml.View{ml.JoinAll, ml.NoJoin, ml.NoFK} {
+		full, err := ml.ViewDataset(joined, ss.TargetCol, v, nil)
+		if err != nil {
+			return nil, err
+		}
+		td.Train[v] = full.Subset(trainIdx)
+		td.Val[v] = full.Subset(valIdx)
+		td.Test[v] = full.Subset(testIdx)
+	}
+	fkCols := ss.Fact.Schema.ColumnsOfKind(relational.KindForeignKey)
+	fkCol := fkCols[0]
+	td.BayesTest = make([]int8, len(testIdx))
+	for i, ti := range testIdx {
+		td.BayesTest[i] = bayesOf(ss.Fact.Row(ti), fkCol)
+	}
+	return td, nil
+}
+
+func rangeIdx(from, to int) []int {
+	out := make([]int, to-from)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+// XSXR is the paper's second scenario (§4.2): a noise-free true distribution
+// over the full joint [X_S, X_R] (all binary), built from an explicit "true
+// probability table" (TPT). The construction follows the paper's six steps:
+//
+//  1. assign a random probability to every [X_S, X_R] combination;
+//  2. assign each entry a random Y, so H(Y | X) = 0;
+//  3. marginalize to P(X_R) and sample the n_R dimension rows from it;
+//  4. zero the TPT entries whose X_R never made it into R;
+//  5. renormalize and sample the fact rows from the remaining entries;
+//  6. give each fact row a FK chosen uniformly among the RIDs whose X_R
+//     matches (the implicit join).
+//
+// X_S and X_R value combinations are encoded as bitmasks, so the TPT is a
+// flat slice of 2^(dS+dR) probabilities.
+type XSXR struct {
+	NS int
+	NR int
+	DS int
+	DR int
+
+	// Fixed true distribution.
+	tpt      []float64          // joint probability per (xs<<dR | xr), after steps 3-5
+	yOf      []int8             // Y per TPT entry (step 2)
+	xrOf     []relational.Value // X_R bitmask of each dimension row (step 3)
+	ridsByXR map[int][]int      // X_R bitmask → dimension RIDs carrying it
+}
+
+// NewXSXR fixes the true distribution with initSeed.
+func NewXSXR(nS, nR, dS, dR int, initSeed uint64) (*XSXR, error) {
+	if nS < 8 || nR < 1 || dS < 1 || dR < 1 {
+		return nil, fmt.Errorf("sim: invalid XSXR dimensions (nS=%d nR=%d dS=%d dR=%d)", nS, nR, dS, dR)
+	}
+	if dS+dR > 22 {
+		return nil, fmt.Errorf("sim: XSXR TPT of 2^%d entries is too large", dS+dR)
+	}
+	s := &XSXR{NS: nS, NR: nR, DS: dS, DR: dR}
+	r := rng.New(initSeed)
+	entries := 1 << (dS + dR)
+
+	// Steps 1–2.
+	s.tpt = make([]float64, entries)
+	s.yOf = make([]int8, entries)
+	total := 0.0
+	for e := range s.tpt {
+		s.tpt[e] = r.Float64()
+		total += s.tpt[e]
+		s.yOf[e] = int8(r.Intn(2))
+	}
+	for e := range s.tpt {
+		s.tpt[e] /= total
+	}
+
+	// Step 3: P(X_R) and the dimension rows.
+	xrMass := make([]float64, 1<<dR)
+	mask := (1 << dR) - 1
+	for e, p := range s.tpt {
+		xrMass[e&mask] += p
+	}
+	s.xrOf = make([]relational.Value, nR)
+	s.ridsByXR = make(map[int][]int)
+	for k := 0; k < nR; k++ {
+		xr := r.Categorical(xrMass)
+		s.xrOf[k] = relational.Value(xr)
+		s.ridsByXR[xr] = append(s.ridsByXR[xr], k)
+	}
+
+	// Step 4–5: zero entries whose X_R is absent, renormalize.
+	total = 0.0
+	for e := range s.tpt {
+		if _, ok := s.ridsByXR[e&mask]; !ok {
+			s.tpt[e] = 0
+		}
+		total += s.tpt[e]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sim: XSXR degenerate — no TPT mass survived dimension sampling")
+	}
+	for e := range s.tpt {
+		s.tpt[e] /= total
+	}
+	return s, nil
+}
+
+// Name implements Scenario.
+func (s *XSXR) Name() string { return "XSXR" }
+
+// Sample implements Scenario.
+func (s *XSXR) Sample(r *rng.RNG) (*TrialData, error) {
+	keyDom := relational.NewDomain("RID", s.NR)
+	binDom := relational.NewDomain("bit", 2)
+	cols := []relational.Column{{Name: "RID", Kind: relational.KindPrimaryKey, Domain: keyDom}}
+	for j := 0; j < s.DR; j++ {
+		cols = append(cols, relational.Column{Name: fmt.Sprintf("XR%d", j), Kind: relational.KindFeature, Domain: binDom})
+	}
+	dim := relational.NewTable("R", relational.MustSchema(cols...), s.NR)
+	row := make([]relational.Value, len(cols))
+	for k := 0; k < s.NR; k++ {
+		row[0] = relational.Value(k)
+		unpackBits(int(s.xrOf[k]), row[1:1+s.DR])
+		dim.MustAppendRow(row)
+	}
+
+	fcols := []relational.Column{{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)}}
+	for j := 0; j < s.DS; j++ {
+		fcols = append(fcols, relational.Column{Name: fmt.Sprintf("XS%d", j), Kind: relational.KindFeature, Domain: binDom})
+	}
+	fcols = append(fcols, relational.Column{Name: "FK", Kind: relational.KindForeignKey, Domain: keyDom, Refs: "R"})
+	total := s.NS + 2*(s.NS/4)
+	fact := relational.NewTable("S", relational.MustSchema(fcols...), total)
+	frow := make([]relational.Value, len(fcols))
+	mask := (1 << s.DR) - 1
+	// bayes per fact row is deterministic: Y of the sampled entry.
+	bayesByRow := make([]int8, 0, total)
+	for i := 0; i < total; i++ {
+		e := r.Categorical(s.tpt) // steps 5–6
+		xs := e >> s.DR
+		xr := e & mask
+		unpackBits(xs, frow[1:1+s.DS])
+		rids := s.ridsByXR[xr]
+		frow[len(fcols)-1] = relational.Value(rids[r.Intn(len(rids))])
+		frow[0] = relational.Value(s.yOf[e])
+		bayesByRow = append(bayesByRow, s.yOf[e])
+		fact.MustAppendRow(frow)
+	}
+	ss, err := relational.NewStarSchema(fact, dim)
+	if err != nil {
+		return nil, err
+	}
+	// The Bayes label is the sampled Y itself (noise-free scenario).
+	rowAt := 0
+	rowBayes := func([]relational.Value, int) int8 {
+		b := bayesByRow[s.NS+s.NS/4+rowAt]
+		rowAt++
+		return b
+	}
+	return buildTrial(ss, s.NS, rowBayes)
+}
+
+// unpackBits writes the low bits of v into dst (LSB first).
+func unpackBits(v int, dst []relational.Value) {
+	for i := range dst {
+		dst[i] = relational.Value((v >> i) & 1)
+	}
+}
+
+// RepOneXr is the paper's third scenario (§4.3): like OneXr, but every
+// foreign feature replicates Xr — X_R is the same value repeated dR times,
+// maximizing the redundancy between FK and X_R while keeping the FD intact.
+type RepOneXr struct {
+	inner *OneXr
+}
+
+// NewRepOneXr fixes the true distribution with initSeed.
+func NewRepOneXr(nS, nR, dS, dR int, p float64, skew Skew, initSeed uint64) (*RepOneXr, error) {
+	inner, err := NewOneXr(nS, nR, dS, dR, p, 2, skew, initSeed)
+	if err != nil {
+		return nil, err
+	}
+	// Replicate Xr into the remaining foreign features.
+	for k := range inner.restR {
+		for j := range inner.restR[k] {
+			inner.restR[k][j] = inner.xr[k]
+		}
+	}
+	return &RepOneXr{inner: inner}, nil
+}
+
+// Name implements Scenario.
+func (s *RepOneXr) Name() string { return "RepOneXr" }
+
+// Sample implements Scenario.
+func (s *RepOneXr) Sample(r *rng.RNG) (*TrialData, error) { return s.inner.Sample(r) }

@@ -1,0 +1,83 @@
+// Package texttable renders small aligned ASCII tables for experiment
+// reports. The experiment CLIs print the same rows/series the paper's
+// tables and figures report; this package keeps that output readable
+// without pulling in any dependency.
+package texttable
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with per-column alignment.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with the given header.
+func New(header ...string) *Table {
+	return &Table{header: append([]string(nil), header...)}
+}
+
+// Row appends a row; values are formatted with %v. Rows shorter than the
+// header are padded with empty cells, longer rows are truncated.
+func (t *Table) Row(cells ...interface{}) *Table {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = fmt.Sprintf("%v", cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float with 4 decimals, the precision the paper's tables use.
+func F(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// F2 formats a float with 2 decimals (tuple ratios, speedups).
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }

@@ -1,0 +1,53 @@
+package texttable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tab := New("Dataset", "Acc")
+	tab.Row("Expedia", F(0.79452))
+	tab.Row("M", 1)
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Dataset") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.7945") {
+		t.Fatalf("F formatting wrong: %q", lines[2])
+	}
+	// Separator row matches column widths.
+	if !strings.Contains(lines[1], "-------") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	tab := New("a", "b")
+	tab.Row("only")              // short row padded
+	tab.Row("x", "y", "ignored") // long row truncated
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ignored") {
+		t.Fatal("extra cells must be dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.5) != "0.5000" {
+		t.Fatalf("F = %q", F(0.5))
+	}
+	if F2(39.543) != "39.54" {
+		t.Fatalf("F2 = %q", F2(39.543))
+	}
+}

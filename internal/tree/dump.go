@@ -1,0 +1,98 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dump writes a human-readable rendering of the fitted tree, one node per
+// line, children indented under parents. Split nodes print the feature
+// index and the set of values routed left (elided past maxValues entries —
+// exactly the §6.1 interpretability problem: a foreign-key split can carry
+// thousands of values, which is what domain compression exists to fix).
+//
+// featureNames optionally labels features; nil falls back to indices.
+func (t *Tree) Dump(w io.Writer, featureNames []string, maxValues int) error {
+	if len(t.nodes) == 0 {
+		_, err := fmt.Fprintln(w, "(unfitted tree)")
+		return err
+	}
+	if maxValues < 1 {
+		maxValues = 8
+	}
+	name := func(f int) string {
+		if featureNames != nil && f < len(featureNames) {
+			return featureNames[f]
+		}
+		return fmt.Sprintf("x%d", f)
+	}
+	var rec func(i, depth int) error
+	rec = func(i, depth int) error {
+		nd := &t.nodes[i]
+		indent := strings.Repeat("  ", depth)
+		if nd.feature < 0 {
+			_, err := fmt.Fprintf(w, "%spredict %d (n=%d)\n", indent, nd.prediction, nd.n)
+			return err
+		}
+		left := make([]int, 0, len(nd.goLeft))
+		for v, l := range nd.goLeft {
+			if l {
+				left = append(left, int(v))
+			}
+		}
+		sort.Ints(left)
+		shown := make([]string, 0, maxValues)
+		for k, v := range left {
+			if k == maxValues {
+				shown = append(shown, fmt.Sprintf("…(+%d more)", len(left)-maxValues))
+				break
+			}
+			shown = append(shown, fmt.Sprint(v))
+		}
+		if _, err := fmt.Fprintf(w, "%s%s in {%s}? (n=%d)\n",
+			indent, name(nd.feature), strings.Join(shown, ","), nd.n); err != nil {
+			return err
+		}
+		if err := rec(nd.leftChild, depth+1); err != nil {
+			return err
+		}
+		return rec(nd.rightChild, depth+1)
+	}
+	return rec(0, 0)
+}
+
+// DumpDOT writes the tree in Graphviz DOT format for external rendering.
+func (t *Tree) DumpDOT(w io.Writer, featureNames []string) error {
+	if _, err := fmt.Fprintln(w, "digraph tree {"); err != nil {
+		return err
+	}
+	name := func(f int) string {
+		if featureNames != nil && f < len(featureNames) {
+			return featureNames[f]
+		}
+		return fmt.Sprintf("x%d", f)
+	}
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			if _, err := fmt.Fprintf(w, "  n%d [shape=box,label=\"predict %d\\nn=%d\"];\n",
+				i, nd.prediction, nd.n); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\\nn=%d\"];\n", i, name(nd.feature), nd.n); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"in\"];\n", i, nd.leftChild); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"out\"];\n", i, nd.rightChild); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

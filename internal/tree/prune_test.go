@@ -1,0 +1,115 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+// noisyFKDataset builds train/validation sets where a wide FK carries weak
+// signal drowned in noise — exactly the regime where a fully grown tree
+// overfits and pruning should help.
+func noisyFKDataset(n int, seed uint64) *ml.Dataset {
+	r := rng.New(seed)
+	const nR = 150
+	ds := &ml.Dataset{Features: []ml.Feature{
+		{Name: "FK", Cardinality: nR, IsFK: true},
+		{Name: "sig", Cardinality: 2},
+	}}
+	for i := 0; i < n; i++ {
+		fk := r.Intn(nR)
+		sig := r.Intn(2)
+		y := int8(sig)
+		if r.Bernoulli(0.25) {
+			y = 1 - y
+		}
+		ds.X = append(ds.X, relational.Value(fk), relational.Value(sig))
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func TestPruneCCPImprovesValidation(t *testing.T) {
+	train := noisyFKDataset(600, 1)
+	val := noisyFKDataset(300, 2)
+	test := noisyFKDataset(1000, 3)
+
+	grown := New(Config{Criterion: Gini, MinSplit: 1, CP: 0})
+	if err := grown.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	beforeNodes := grown.NumNodes()
+	beforeVal := ml.Accuracy(grown, val)
+
+	cuts, err := grown.PruneCCP(train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts == 0 {
+		t.Fatal("a fully grown tree on 25%-noise data should prune something")
+	}
+	afterVal := ml.Accuracy(grown, val)
+	if afterVal < beforeVal {
+		t.Fatalf("pruning must not hurt validation accuracy: %v -> %v", beforeVal, afterVal)
+	}
+	if grown.NumNodes() != beforeNodes {
+		t.Fatal("node slice must not be reallocated, only rewritten")
+	}
+	// Structural invariant: collapse bookkeeping is fully baked in.
+	if grown.collapseSet != nil || grown.collapseOrder != nil {
+		t.Fatal("collapse state must be cleared after pruning")
+	}
+	// The pruned tree should generalize at least as well as majority and
+	// be close to the Bayes accuracy of 0.75.
+	if acc := ml.Accuracy(grown, test); acc < 0.70 {
+		t.Fatalf("pruned test accuracy %v, want >= 0.70", acc)
+	}
+}
+
+func TestPruneCCPLeavesCountFalls(t *testing.T) {
+	train := noisyFKDataset(500, 5)
+	val := noisyFKDataset(250, 6)
+	grown := New(Config{Criterion: Gini, MinSplit: 1, CP: 0})
+	if err := grown.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	before := grown.NumLeaves()
+	if _, err := grown.PruneCCP(train, val); err != nil {
+		t.Fatal(err)
+	}
+	if grown.NumLeaves() > before {
+		t.Fatalf("leaves rose from %d to %d", before, grown.NumLeaves())
+	}
+}
+
+func TestPruneCCPValidation(t *testing.T) {
+	if _, err := New(Config{}).PruneCCP(nil, nil); err == nil {
+		t.Fatal("unfitted prune must error")
+	}
+	ds := noisyFKDataset(50, 7)
+	tr := New(Config{Criterion: Gini, MinSplit: 1, CP: 0})
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.PruneCCP(ds, &ml.Dataset{Features: ds.Features}); err == nil {
+		t.Fatal("empty validation must error")
+	}
+}
+
+func TestPruneCCPOnPureTreeIsNoop(t *testing.T) {
+	// A single-leaf tree has nothing to prune.
+	ds := mkDataset(feats(2), [][]relational.Value{{0}, {1}}, []int8{1, 1})
+	tr := New(Config{Criterion: Gini, MinSplit: 1, CP: 0})
+	if err := tr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := tr.PruneCCP(ds, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts != 0 {
+		t.Fatalf("pure tree pruned %d nodes", cuts)
+	}
+}
