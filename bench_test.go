@@ -14,12 +14,15 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/ml"
+	"repro/internal/relational"
 	"repro/internal/sim"
 	"repro/internal/svm"
 	"repro/internal/tree"
@@ -270,6 +273,92 @@ func BenchmarkFigure11Smoothing(b *testing.B) {
 		}
 	}
 }
+
+// --- Factorized-execution benchmarks: materialized vs zero-copy join. ---
+
+// benchJoinPipeline measures one JoinAll data-preparation pipeline — join,
+// carve the JoinAll dataset, scan every example once through the access path
+// — under the materialized (eager Join) or factorized (JoinView) execution
+// mode. Beyond ns/op and testing's own allocs, it reports:
+//
+//	alloc-bytes/op — total heap bytes allocated per pipeline run
+//	peak-live-bytes — heap live after building the pipeline (post-GC),
+//	                  i.e. what the prepared dataset keeps resident
+//
+// both via runtime.ReadMemStats, so the memory win of the view path is
+// visible in the bench trajectory.
+func benchJoinPipeline(b *testing.B, lazy bool) {
+	spec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, envInt("REPRO_SCALE", 256), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := liveBytes()
+	var allocTotal, peakLive uint64
+	var sink relational.Value
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m0, m2 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		var joined relational.Relation
+		if lazy {
+			jv, err := relational.NewJoinView(ss)
+			if err != nil {
+				b.Fatal(err)
+			}
+			joined = jv
+		} else {
+			jt, err := relational.Join(ss)
+			if err != nil {
+				b.Fatal(err)
+			}
+			joined = jt
+		}
+		ds, err := ml.ViewDataset(joined, ss.TargetCol, ml.JoinAll, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The forced GC inside liveBytes would dominate ns/op; sample the
+		// pipeline's resident size off the clock.
+		b.StopTimer()
+		if live := liveBytes(); live > baseline && live-baseline > peakLive {
+			peakLive = live - baseline
+		}
+		b.StartTimer()
+		buf := make([]relational.Value, ds.NumFeatures())
+		n := ds.NumExamples()
+		for r := 0; r < n; r++ {
+			row := ds.RowInto(buf, r)
+			sink += row[len(row)-1]
+		}
+		runtime.ReadMemStats(&m2)
+		allocTotal += m2.TotalAlloc - m0.TotalAlloc
+		runtime.KeepAlive(joined)
+	}
+	b.StopTimer()
+	_ = sink
+	b.ReportMetric(float64(allocTotal)/float64(b.N), "alloc-bytes/op")
+	b.ReportMetric(float64(peakLive), "peak-live-bytes")
+}
+
+// liveBytes forces a collection and returns the live heap size.
+func liveBytes() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// BenchmarkJoinMaterialized is the historical eager pipeline: the joined
+// table exists physically before any dataset is carved from it.
+func BenchmarkJoinMaterialized(b *testing.B) { benchJoinPipeline(b, false) }
+
+// BenchmarkJoinView is the factorized pipeline: the join stays virtual and
+// every access resolves through the FK indirection.
+func BenchmarkJoinView(b *testing.B) { benchJoinPipeline(b, true) }
 
 // --- Ablation benches for the design decisions DESIGN.md calls out. ---
 

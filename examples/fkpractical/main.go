@@ -84,7 +84,7 @@ func run() error {
 	}
 	var keep []int
 	for i := 0; i < train.NumExamples(); i++ {
-		if !withheld[train.Row(i)[fkCol]] {
+		if !withheld[train.At(i, fkCol)] {
 			keep = append(keep, i)
 		}
 	}

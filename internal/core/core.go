@@ -83,8 +83,8 @@ type Advice struct {
 // "advisor": tables marked SafeToAvoid need not be procured at all.
 func Advise(ss *relational.StarSchema, f Family) ([]Advice, error) {
 	var out []Advice
-	for _, fkCol := range ss.Fact.Schema.ColumnsOfKind(relational.KindForeignKey) {
-		c := ss.Fact.Schema.Cols[fkCol]
+	for _, fkCol := range ss.Fact.Schema().ColumnsOfKind(relational.KindForeignKey) {
+		c := ss.Fact.Schema().Cols[fkCol]
 		tr, err := ss.TupleRatio(c.Refs)
 		if err != nil {
 			return nil, err
@@ -99,23 +99,53 @@ func Advise(ss *relational.StarSchema, f Family) ([]Advice, error) {
 	return out, nil
 }
 
-// Env is a dataset prepared for experiments: the materialized join of a star
-// schema and the paper's fixed 50/25/25 train/validation/test split of it.
+// Env is a dataset prepared for experiments: the (factorized) join of a
+// star schema and the paper's fixed 50/25/25 train/validation/test split of
+// it. Since the zero-copy refactor Joined is a relational.JoinView by
+// default — the joined table never exists physically; the split parts are
+// index views over it and the ml datasets carved from them resolve feature
+// accesses through the FK indirection. NewEnvMaterialized restores the
+// historical eager pipeline (same seeds, bit-identical results).
 type Env struct {
 	Star      *relational.StarSchema
-	Joined    *relational.Table
+	Joined    relational.Relation
 	TargetCol int
 	Split     relational.Split
 }
 
-// NewEnv joins the star schema and splits the result. The split is seeded
-// and retained, mirroring the paper's "pre-split, retained as is" protocol.
+// NewEnv builds the factorized join view over the star schema and splits it
+// lazily. The split is seeded and retained, mirroring the paper's
+// "pre-split, retained as is" protocol.
 func NewEnv(ss *relational.StarSchema, seed uint64) (*Env, error) {
+	joined, err := relational.NewJoinView(ss)
+	if err != nil {
+		return nil, err
+	}
+	return newEnvOver(ss, joined, seed)
+}
+
+// NewEnvMaterialized is NewEnv with the historical eager pipeline: the join
+// output and all three split parts are physical tables. It exists for
+// A/B-testing the factorized path (the equivalence tests run one experiment
+// config both ways) and for workloads that rescan the splits so many times
+// that per-access indirection dominates.
+func NewEnvMaterialized(ss *relational.StarSchema, seed uint64) (*Env, error) {
 	joined, err := relational.Join(ss)
 	if err != nil {
 		return nil, err
 	}
-	targetCol := joined.Schema.ColumnsOfKind(relational.KindTarget)[0]
+	env, err := newEnvOver(ss, joined, seed)
+	if err != nil {
+		return nil, err
+	}
+	env.Split = env.Split.Materialize(joined.Name)
+	return env, nil
+}
+
+// newEnvOver splits any joined relation. The seeded permutation depends only
+// on seed and row count, so lazy and materialized envs see identical splits.
+func newEnvOver(ss *relational.StarSchema, joined relational.Relation, seed uint64) (*Env, error) {
+	targetCol := joined.Schema().ColumnsOfKind(relational.KindTarget)[0]
 	split, err := relational.PaperSplit(joined, rng.New(seed))
 	if err != nil {
 		return nil, err

@@ -341,6 +341,58 @@ func TestNewEnvDeterministicSplit(t *testing.T) {
 	_ = rng.New(1) // keep import
 }
 
+func TestFactorizedPipelineMatchesMaterialized(t *testing.T) {
+	// Acceptance check for the zero-copy refactor: the JoinView +
+	// view-backed-Dataset pipeline must produce bit-identical accuracies to
+	// the historical materialized pipeline — same seeds, same split
+	// permutation, same grid winner.
+	spec, err := dataset.SpecByName("Walmart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewEnv(ss, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := NewEnvMaterialized(ss, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lazy.Joined.(*relational.JoinView); !ok {
+		t.Fatalf("lazy env joined is %T, want *relational.JoinView", lazy.Joined)
+	}
+	if _, ok := eager.Joined.(*relational.Table); !ok {
+		t.Fatalf("eager env joined is %T, want *relational.Table", eager.Joined)
+	}
+	for _, mspec := range []Spec{TreeSpec(tree.Gini, EffortFast), OneNNSpec(), NaiveBayesBFSSpec()} {
+		for _, v := range []ml.View{ml.JoinAll, ml.NoJoin} {
+			lres, err := Run(lazy, v, mspec, 11)
+			if err != nil {
+				t.Fatalf("lazy %s/%v: %v", mspec.Name, v, err)
+			}
+			eres, err := Run(eager, v, mspec, 11)
+			if err != nil {
+				t.Fatalf("eager %s/%v: %v", mspec.Name, v, err)
+			}
+			if lres.TestAcc != eres.TestAcc || lres.TrainAcc != eres.TrainAcc || lres.ValAcc != eres.ValAcc {
+				t.Fatalf("%s/%v diverged: lazy (test %v train %v val %v) vs eager (test %v train %v val %v)",
+					mspec.Name, v, lres.TestAcc, lres.TrainAcc, lres.ValAcc,
+					eres.TestAcc, eres.TrainAcc, eres.ValAcc)
+			}
+			for k, pv := range lres.BestPoint {
+				if eres.BestPoint[k] != pv {
+					t.Fatalf("%s/%v picked different grid points: %v vs %v",
+						mspec.Name, v, lres.BestPoint, eres.BestPoint)
+				}
+			}
+		}
+	}
+}
+
 func TestPartialJoinSweep(t *testing.T) {
 	env := smallEnv(t)
 	pts, err := PartialJoinSweep(env, "Stores", TreeSpec(tree.Gini, EffortFast), 61)

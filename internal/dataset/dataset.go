@@ -258,17 +258,17 @@ func Describe(name string, ss *relational.StarSchema) Stats {
 	st := Stats{
 		Name: name,
 		NS:   ss.Fact.NumRows(),
-		DS:   len(ss.Fact.Schema.ColumnsOfKind(relational.KindFeature)),
+		DS:   len(ss.Fact.Schema().ColumnsOfKind(relational.KindFeature)),
 		Q:    len(ss.DimensionNames()),
 	}
-	for _, fkCol := range ss.Fact.Schema.ColumnsOfKind(relational.KindForeignKey) {
-		c := ss.Fact.Schema.Cols[fkCol]
+	for _, fkCol := range ss.Fact.Schema().ColumnsOfKind(relational.KindForeignKey) {
+		c := ss.Fact.Schema().Cols[fkCol]
 		dim := ss.Dimensions[c.Refs]
 		tr, _ := ss.TupleRatio(c.Refs)
 		st.Dims = append(st.Dims, DimStats{
 			Name:       c.Refs,
 			NR:         dim.NumRows(),
-			DR:         len(dim.Schema.ColumnsOfKind(relational.KindFeature)),
+			DR:         len(dim.Schema().ColumnsOfKind(relational.KindFeature)),
 			TupleRatio: 0.5 * tr,
 			Open:       c.Open,
 		})

@@ -116,7 +116,7 @@ func TestExpediaOpenFK(t *testing.T) {
 	}
 	for _, v := range []ml.View{ml.JoinAll, ml.NoJoin} {
 		for _, c := range ml.ViewColumns(joined, v, nil) {
-			col := joined.Schema.Cols[c]
+			col := joined.Schema().Cols[c]
 			if col.Kind == relational.KindForeignKey && col.Refs == "Searches" {
 				t.Fatalf("open FK leaked into view %v", v)
 			}
@@ -144,7 +144,7 @@ func TestDeterministicGeneration(t *testing.T) {
 		t.Fatal("row counts differ")
 	}
 	for i := 0; i < a.Fact.NumRows(); i++ {
-		for j := 0; j < a.Fact.Schema.Width(); j++ {
+		for j := 0; j < a.Fact.Schema().Width(); j++ {
 			if a.Fact.At(i, j) != b.Fact.At(i, j) {
 				t.Fatal("generation not deterministic")
 			}
@@ -164,7 +164,7 @@ func TestPlantedSignalsAreLearnable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	targetCol := joined.Schema.ColumnsOfKind(relational.KindTarget)[0]
+	targetCol := joined.Schema().ColumnsOfKind(relational.KindTarget)[0]
 	ds, err := ml.ViewDataset(joined, targetCol, ml.JoinAll, nil)
 	if err != nil {
 		t.Fatal(err)

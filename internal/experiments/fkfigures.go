@@ -271,7 +271,7 @@ func fkIndex(ds *ml.Dataset) int {
 func filterRows(ds *ml.Dataset, fkIdx int, withheld map[int32]bool) *ml.Dataset {
 	var keep []int
 	for i := 0; i < ds.NumExamples(); i++ {
-		if !withheld[ds.Row(i)[fkIdx]] {
+		if !withheld[ds.At(i, fkIdx)] {
 			keep = append(keep, i)
 		}
 	}

@@ -32,7 +32,7 @@ func PartialJoinTradeoff(o Options, datasetName string) (PartialCurve, error) {
 	best, bestCount := "", -1
 	for _, d := range dims {
 		dim := env.Star.Dimensions[d]
-		n := len(dim.Schema.FeatureNames())
+		n := len(dim.Schema().FeatureNames())
 		if n > bestCount {
 			best, bestCount = d, n
 		}

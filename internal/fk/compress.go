@@ -78,7 +78,7 @@ func NewSortBased(train *ml.Dataset, fkCol, l int, r *rng.RNG) (*SortBased, erro
 	// Estimate H(Y | FK = v) per value.
 	counts := make([][2]int, m)
 	for i := 0; i < train.NumExamples(); i++ {
-		v := train.Row(i)[fkCol]
+		v := train.At(i, fkCol)
 		counts[v][int(train.Label(i))]++
 	}
 	type ventry struct {
@@ -143,20 +143,26 @@ func (s *SortBased) Budget() int { return s.budget }
 // compressor, returning a new dataset whose feature cardinality is the
 // budget. The same fitted compressor must be applied to train, validation,
 // and test (the paper fits f on the training split and compresses the whole
-// dataset).
+// dataset). The result is dense: a value-rewriting transform has to own its
+// storage, so this is the one copy the compression pipeline pays regardless
+// of whether the input is a view.
 func CompressFeature(ds *ml.Dataset, fkCol int, c Compressor) (*ml.Dataset, error) {
 	if fkCol < 0 || fkCol >= ds.NumFeatures() {
 		return nil, fmt.Errorf("fk: feature index %d out of range", fkCol)
 	}
+	n := ds.NumExamples()
+	d := ds.NumFeatures()
 	out := &ml.Dataset{
 		Features: append([]ml.Feature(nil), ds.Features...),
-		X:        append([]relational.Value(nil), ds.X...),
-		Y:        append([]int8(nil), ds.Y...),
+		X:        make([]relational.Value, n*d),
+		Y:        make([]int8, n),
 	}
 	out.Features[fkCol].Cardinality = c.Budget()
-	d := ds.NumFeatures()
-	for i := 0; i < ds.NumExamples(); i++ {
-		out.X[i*d+fkCol] = c.Map(ds.X[i*d+fkCol])
+	for i := 0; i < n; i++ {
+		row := out.X[i*d : (i+1)*d]
+		ds.RowInto(row, i)
+		row[fkCol] = c.Map(row[fkCol])
+		out.Y[i] = ds.Label(i)
 	}
 	return out, nil
 }

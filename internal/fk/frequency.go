@@ -36,7 +36,7 @@ func NewFrequencyBased(train *ml.Dataset, fkCol, l int) (*FrequencyBased, error)
 	}
 	counts := make([]int, m)
 	for i := 0; i < train.NumExamples(); i++ {
-		counts[train.Row(i)[fkCol]]++
+		counts[train.At(i, fkCol)]++
 	}
 	type vc struct {
 		v relational.Value

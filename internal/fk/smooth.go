@@ -95,7 +95,7 @@ func NewXRSmoother(train *ml.Dataset, fkFeature int, dim *relational.Table, seed
 	if dim.NumRows() != card {
 		return nil, fmt.Errorf("fk: dimension table has %d rows, FK domain is %d", dim.NumRows(), card)
 	}
-	featIdx := dim.Schema.ColumnsOfKind(relational.KindFeature)
+	featIdx := dim.Schema().ColumnsOfKind(relational.KindFeature)
 	if len(featIdx) == 0 {
 		return nil, fmt.Errorf("fk: dimension table %q has no feature columns", dim.Name)
 	}
@@ -110,7 +110,7 @@ func NewXRSmoother(train *ml.Dataset, fkFeature int, dim *relational.Table, seed
 	}
 	seen := make(map[relational.Value]bool)
 	for i := 0; i < train.NumExamples(); i++ {
-		seen[train.Row(i)[fkFeature]] = true
+		seen[train.At(i, fkFeature)] = true
 	}
 	for v := relational.Value(0); int(v) < card; v++ {
 		if seen[v] {

@@ -32,7 +32,10 @@ func (k *OneNN) Fit(train *ml.Dataset) error {
 	if train.NumExamples() == 0 {
 		return fmt.Errorf("knn: empty training set")
 	}
-	k.train = train
+	// A private handle gives this classifier its own scratch buffer, so
+	// Predict's scan of the training rows cannot race with other readers of
+	// the same view-backed dataset.
+	k.train = train.Handle()
 	return nil
 }
 

@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/relational"
 )
@@ -22,17 +23,22 @@ type Named interface {
 }
 
 // Accuracy returns the fraction of examples in ds classified correctly by c.
+// Rows are copied into a local buffer before prediction so that classifiers
+// which internally iterate the same dataset (1-NN evaluated on its own
+// training set) never see their argument clobbered by scratch reuse.
 func Accuracy(c Classifier, ds *Dataset) float64 {
-	if ds.NumExamples() == 0 {
+	n := ds.NumExamples()
+	if n == 0 {
 		return 0
 	}
+	buf := make([]relational.Value, ds.NumFeatures())
 	correct := 0
-	for i := 0; i < ds.NumExamples(); i++ {
-		if c.Predict(ds.Row(i)) == ds.Label(i) {
+	for i := 0; i < n; i++ {
+		if c.Predict(ds.RowInto(buf, i)) == ds.Label(i) {
 			correct++
 		}
 	}
-	return float64(correct) / float64(ds.NumExamples())
+	return float64(correct) / float64(n)
 }
 
 // Error returns the 0-1 loss of c on ds (1 − Accuracy).
@@ -48,8 +54,9 @@ type Confusion struct {
 // Confuse evaluates c on ds and tallies the confusion matrix.
 func Confuse(c Classifier, ds *Dataset) Confusion {
 	var m Confusion
+	buf := make([]relational.Value, ds.NumFeatures())
 	for i := 0; i < ds.NumExamples(); i++ {
-		pred, truth := c.Predict(ds.Row(i)), ds.Label(i)
+		pred, truth := c.Predict(ds.RowInto(buf, i)), ds.Label(i)
 		switch {
 		case pred == 1 && truth == 1:
 			m.TP++
@@ -153,28 +160,58 @@ type TuneResult struct {
 // returned (the paper tunes on the validation split and reports holdout test
 // accuracy of the tuned model). Ties keep the earlier point, making results
 // deterministic.
+//
+// Grid points are fitted and evaluated on a worker pool (see
+// MaxParallelism): classifiers are constructed sequentially — factories need
+// not be safe for concurrent calls — then each worker fits on its own
+// Dataset handle and the winner is reduced online (max accuracy, earliest
+// grid index on ties), so the result is bit-identical to a sequential run.
+// View-backed datasets make the per-worker handles free.
 func GridSearch(grid *Grid, factory Factory, train, validation *Dataset) (TuneResult, error) {
 	points := grid.Points()
 	if len(points) == 0 {
 		return TuneResult{}, fmt.Errorf("ml: empty grid")
 	}
-	res := TuneResult{BestValAcc: -1}
-	for _, p := range points {
+	models := make([]Classifier, len(points))
+	for i, p := range points {
 		c, err := factory(p)
 		if err != nil {
 			return TuneResult{}, fmt.Errorf("ml: grid point %v: %w", p, err)
 		}
-		if err := c.Fit(train); err != nil {
-			return TuneResult{}, fmt.Errorf("ml: fit at %v: %w", p, err)
+		models[i] = c
+	}
+	// Online winner reduction: losers become garbage as soon as they are
+	// judged, so at most workers+1 fitted models are live at once. Per-point
+	// accuracies are deterministic, so "max accuracy, earliest grid index on
+	// ties" selects the same winner as the historical sequential loop
+	// regardless of completion order.
+	var mu sync.Mutex
+	res := TuneResult{BestValAcc: -1}
+	bestIdx := -1
+	errs := make([]error, len(points))
+	parallelFor(len(points), func(i int) {
+		c := models[i]
+		models[i] = nil
+		if err := c.Fit(train.Handle()); err != nil {
+			errs[i] = fmt.Errorf("ml: fit at %v: %w", points[i], err)
+			return
 		}
-		acc := Accuracy(c, validation)
-		res.PointsTried++
-		if acc > res.BestValAcc {
+		acc := Accuracy(c, validation.Handle())
+		mu.Lock()
+		if acc > res.BestValAcc || (acc == res.BestValAcc && i < bestIdx) {
 			res.Best = c
-			res.BestPoint = p
+			res.BestPoint = points[i]
 			res.BestValAcc = acc
+			bestIdx = i
+		}
+		mu.Unlock()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return TuneResult{}, err
 		}
 	}
+	res.PointsTried = len(points)
 	return res, nil
 }
 

@@ -30,27 +30,46 @@ func KFold(n, k int, r *rng.RNG) ([][]int, error) {
 // CrossValidate estimates the mean validation accuracy of a classifier
 // configuration over k folds: for each fold, train the factory's classifier
 // on the remaining folds and evaluate on the held-out one.
+//
+// Folds run on a worker pool (see MaxParallelism). Classifiers are
+// constructed sequentially — the factory need not be safe for concurrent
+// calls — and per-fold accuracies are summed in fold order, so the result is
+// bit-identical to a sequential run. The per-fold train/holdout Subsets are
+// zero-copy views, which is what makes the fan-out cheap.
 func CrossValidate(factory func() (Classifier, error), ds *Dataset, k int, r *rng.RNG) (float64, error) {
 	folds, err := KFold(ds.NumExamples(), k, r)
 	if err != nil {
 		return 0, err
 	}
-	total := 0.0
-	for fi, holdout := range folds {
+	models := make([]Classifier, len(folds))
+	for fi := range folds {
+		c, err := factory()
+		if err != nil {
+			return 0, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		models[fi] = c
+	}
+	accs := make([]float64, len(folds))
+	errs := make([]error, len(folds))
+	parallelFor(len(folds), func(fi int) {
 		var trainIdx []int
 		for fj, fold := range folds {
 			if fj != fi {
 				trainIdx = append(trainIdx, fold...)
 			}
 		}
-		c, err := factory()
-		if err != nil {
-			return 0, fmt.Errorf("ml: fold %d: %w", fi, err)
+		if err := models[fi].Fit(ds.Subset(trainIdx)); err != nil {
+			errs[fi] = fmt.Errorf("ml: fold %d: %w", fi, err)
+			return
 		}
-		if err := c.Fit(ds.Subset(trainIdx)); err != nil {
-			return 0, fmt.Errorf("ml: fold %d: %w", fi, err)
+		accs[fi] = Accuracy(models[fi], ds.Subset(folds[fi]))
+	})
+	total := 0.0
+	for fi := range folds {
+		if errs[fi] != nil {
+			return 0, errs[fi]
 		}
-		total += Accuracy(c, ds.Subset(holdout))
+		total += accs[fi]
 	}
 	return total / float64(k), nil
 }

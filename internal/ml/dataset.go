@@ -1,5 +1,5 @@
 // Package ml is the shared machine-learning layer: a categorical Dataset
-// abstraction built as a view over relational tables, the Classifier
+// abstraction built as a view over relational data, the Classifier
 // interface every learner implements, evaluation metrics, and the
 // validation-set grid search the paper uses for hyper-parameter tuning.
 //
@@ -8,6 +8,14 @@
 // recovered inside the model (kernel match counts, per-(feature,value)
 // weights, sparse embedding rows) rather than by materializing a one-hot
 // matrix; see the Encoder type.
+//
+// Since the factorized-execution refactor a Dataset is a *view*: it binds to
+// any relational.Relation (a physical Table, a zero-copy JoinView, a split
+// SelectView) or to dense storage, and Subset / SelectFeatures compose
+// index- and column-remaps instead of copying. Learners consume examples
+// only through NumExamples / Row / RowInto / At / Label, so one JoinAll
+// experiment now holds a single physical copy of the fact and dimension
+// tables instead of 3–4 copies of the joined matrix.
 package ml
 
 import (
@@ -26,42 +34,178 @@ type Feature struct {
 	IsFK        bool
 }
 
+// view is the non-dense backing of a Dataset: a source (either a Relation or
+// a borrowed dense block) plus optional row and column remaps.
+type view struct {
+	// Exactly one of rel / (x, y) is the source.
+	rel relational.Relation
+	x   []relational.Value // dense source rows, width = baseW
+	y   []int8             // dense source labels (rel == nil)
+
+	baseW  int // source row width
+	target int // target column in rel (rel != nil)
+	rows   []int
+	n      int   // row count when rows == nil
+	cols   []int // per-feature source column; nil = identity
+}
+
+// srcRow maps a view example index to a source row index.
+func (v *view) srcRow(i int) int {
+	if v.rows == nil {
+		return i
+	}
+	return v.rows[i]
+}
+
 // Dataset is an immutable supervised learning problem: n examples, d
-// categorical features, binary labels. X is row-major (len n*d); Y holds
-// class labels 0/1.
+// categorical features, binary labels.
+//
+// A Dataset is either *dense* — X row-major (len n*d), Y class labels 0/1,
+// both exported so tests and generators can build datasets directly — or
+// *view-backed* (constructed by FromRelation, Subset, or SelectFeatures), in
+// which case X and Y are nil and every access resolves through the backing
+// relation and remap tables. Use the accessors; they are the only API that
+// works for both forms.
 type Dataset struct {
 	Features []Feature
-	X        []relational.Value // len = n * d
-	Y        []int8             // len = n
+	X        []relational.Value // dense storage; nil when view-backed
+	Y        []int8             // dense labels; nil when view-backed
+
+	v       *view
+	scratch []relational.Value
 }
 
 // NumExamples returns n.
-func (d *Dataset) NumExamples() int { return len(d.Y) }
+func (d *Dataset) NumExamples() int {
+	if d.v == nil {
+		return len(d.Y)
+	}
+	if d.v.rows != nil {
+		return len(d.v.rows)
+	}
+	return d.v.n
+}
 
-// NumFeatures returns d.
+// NumFeatures returns the feature count.
 func (d *Dataset) NumFeatures() int { return len(d.Features) }
 
-// Row returns example i's feature codes (aliases internal storage).
+// contiguous reports whether Row can alias storage directly: dense identity
+// layouts and row-remapped dense views with identity columns.
+func (d *Dataset) contiguous() bool {
+	return d.v == nil || (d.v.rel == nil && d.v.cols == nil)
+}
+
+// Row returns example i's feature codes.
+//
+// For contiguous datasets the returned slice aliases internal storage (the
+// historical zero-copy behaviour). For view-backed datasets it is filled
+// into a per-Dataset scratch buffer and stays valid only until the next Row
+// call on the same Dataset value — callers that hold a row across further
+// Row calls, or that read rows from several goroutines, must use RowInto
+// with their own buffer (see Accuracy) or per-goroutine Handles.
 func (d *Dataset) Row(i int) []relational.Value {
-	k := d.NumFeatures()
-	return d.X[i*k : (i+1)*k : (i+1)*k]
+	k := len(d.Features)
+	if d.v == nil {
+		return d.X[i*k : (i+1)*k : (i+1)*k]
+	}
+	if d.v.rel == nil && d.v.cols == nil {
+		r := d.v.srcRow(i)
+		return d.v.x[r*k : (r+1)*k : (r+1)*k]
+	}
+	if d.scratch == nil {
+		d.scratch = make([]relational.Value, k)
+	}
+	return d.RowInto(d.scratch, i)
+}
+
+// RowInto copies example i's feature codes into dst (len >= NumFeatures)
+// and returns dst truncated to the feature count. It never aliases dataset
+// storage, making it the safe pattern for callers that pass rows into
+// classifiers which may themselves iterate the same dataset.
+func (d *Dataset) RowInto(dst []relational.Value, i int) []relational.Value {
+	k := len(d.Features)
+	dst = dst[:k]
+	if d.v == nil {
+		copy(dst, d.X[i*k:(i+1)*k])
+		return dst
+	}
+	r := d.v.srcRow(i)
+	if d.v.rel != nil {
+		if d.v.cols == nil {
+			return d.v.rel.CopyRow(dst, r)
+		}
+		for j, c := range d.v.cols {
+			dst[j] = d.v.rel.At(r, c)
+		}
+		return dst
+	}
+	if d.v.cols == nil {
+		copy(dst, d.v.x[r*d.v.baseW:r*d.v.baseW+k])
+		return dst
+	}
+	base := r * d.v.baseW
+	for j, c := range d.v.cols {
+		dst[j] = d.v.x[base+c]
+	}
+	return dst
+}
+
+// At returns the value of feature j of example i. It is the cheapest
+// accessor for single-cell reads (no row assembly) and is safe for
+// concurrent use.
+func (d *Dataset) At(i, j int) relational.Value {
+	if d.v == nil {
+		return d.X[i*len(d.Features)+j]
+	}
+	r := d.v.srcRow(i)
+	c := j
+	if d.v.cols != nil {
+		c = d.v.cols[j]
+	}
+	if d.v.rel != nil {
+		return d.v.rel.At(r, c)
+	}
+	return d.v.x[r*d.v.baseW+c]
 }
 
 // Label returns example i's class in {0, 1}.
-func (d *Dataset) Label(i int) int8 { return d.Y[i] }
+func (d *Dataset) Label(i int) int8 {
+	if d.v == nil {
+		return d.Y[i]
+	}
+	r := d.v.srcRow(i)
+	if d.v.rel != nil {
+		return int8(d.v.rel.At(r, d.v.target))
+	}
+	return d.v.y[r]
+}
+
+// Handle returns a cheap per-worker alias of the dataset: same backing data,
+// private scratch buffer. Views make handles free (a small struct copy), and
+// parallel tuning hands one to each worker so concurrent Row calls cannot
+// race on scratch. For contiguous datasets it returns d unchanged.
+func (d *Dataset) Handle() *Dataset {
+	if d.contiguous() {
+		return d
+	}
+	h := *d
+	h.scratch = nil
+	return &h
+}
 
 // PositiveFraction returns the empirical P(Y=1).
 func (d *Dataset) PositiveFraction() float64 {
-	if len(d.Y) == 0 {
+	n := d.NumExamples()
+	if n == 0 {
 		return 0
 	}
 	pos := 0
-	for _, y := range d.Y {
-		if y == 1 {
+	for i := 0; i < n; i++ {
+		if d.Label(i) == 1 {
 			pos++
 		}
 	}
-	return float64(pos) / float64(len(d.Y))
+	return float64(pos) / float64(n)
 }
 
 // MajorityClass returns the most frequent label (ties → 1, matching the
@@ -73,26 +217,39 @@ func (d *Dataset) MajorityClass() int8 {
 	return 0
 }
 
-// Subset materializes a new dataset restricted to the given example indices.
+// Subset returns a view of the dataset restricted to the given example
+// indices, in order. No example data is copied: the result shares storage
+// with d (and with d's own backing, if d is already a view), composing row
+// remaps. Indices may repeat. When d has no row remap yet the idx slice is
+// retained as-is (callers must not mutate it afterwards); when composing
+// with an existing remap it is only read.
 func (d *Dataset) Subset(idx []int) *Dataset {
-	k := d.NumFeatures()
-	out := &Dataset{
-		Features: d.Features,
-		X:        make([]relational.Value, 0, len(idx)*k),
-		Y:        make([]int8, 0, len(idx)),
+	out := &Dataset{Features: d.Features}
+	if d.v == nil {
+		out.v = &view{x: d.X, y: d.Y, baseW: len(d.Features), rows: idx}
+		return out
 	}
-	for _, i := range idx {
-		out.X = append(out.X, d.Row(i)...)
-		out.Y = append(out.Y, d.Y[i])
+	nv := *d.v
+	if d.v.rows == nil {
+		nv.rows = idx
+	} else {
+		rows := make([]int, len(idx))
+		for k, i := range idx {
+			rows[k] = d.v.rows[i]
+		}
+		nv.rows = rows
 	}
+	out.v = &nv
 	return out
 }
 
-// FromTable builds a dataset from a (typically joined) table using the given
-// feature column indices and the table's target column. Target domain must be
-// binary.
-func FromTable(t *relational.Table, featureCols []int, targetCol int) (*Dataset, error) {
-	tc := t.Schema.Cols[targetCol]
+// FromRelation builds a zero-copy dataset over any relation using the given
+// feature column indices and target column. The target domain must be
+// binary. Labels as well as features resolve through the relation at access
+// time, so writes to the base relation are observed by the dataset.
+func FromRelation(r relational.Relation, featureCols []int, targetCol int) (*Dataset, error) {
+	schema := r.Schema()
+	tc := schema.Cols[targetCol]
 	if tc.Kind != relational.KindTarget {
 		return nil, fmt.Errorf("ml: column %q is %v, not a target", tc.Name, tc.Kind)
 	}
@@ -101,7 +258,7 @@ func FromTable(t *relational.Table, featureCols []int, targetCol int) (*Dataset,
 	}
 	feats := make([]Feature, len(featureCols))
 	for j, c := range featureCols {
-		col := t.Schema.Cols[c]
+		col := schema.Cols[c]
 		switch col.Kind {
 		case relational.KindFeature, relational.KindForeignKey:
 		default:
@@ -113,23 +270,71 @@ func FromTable(t *relational.Table, featureCols []int, targetCol int) (*Dataset,
 			IsFK:        col.Kind == relational.KindForeignKey,
 		}
 	}
-	n := t.NumRows()
-	ds := &Dataset{
+	return &Dataset{
 		Features: feats,
-		X:        make([]relational.Value, 0, n*len(featureCols)),
-		Y:        make([]int8, 0, n),
-	}
-	for i := 0; i < n; i++ {
-		row := t.Row(i)
-		for _, c := range featureCols {
-			ds.X = append(ds.X, row[c])
-		}
-		ds.Y = append(ds.Y, int8(row[targetCol]))
-	}
-	return ds, nil
+		v: &view{
+			rel:    r,
+			baseW:  schema.Width(),
+			target: targetCol,
+			n:      r.NumRows(),
+			cols:   append([]int(nil), featureCols...),
+		},
+	}, nil
 }
 
-// DropFeatures returns a copy of the dataset without the features at the
+// FromTable builds a dataset from a (typically joined) relation. It is kept
+// as the historical name; since the factorized refactor it is an alias of
+// FromRelation and no longer copies the data.
+func FromTable(t relational.Relation, featureCols []int, targetCol int) (*Dataset, error) {
+	return FromRelation(t, featureCols, targetCol)
+}
+
+// Materialize evaluates a view-backed dataset into dense storage (one copy).
+// Contiguous identity datasets are returned unchanged. Learners with access
+// patterns that revisit every row many times (SMO's kernel loops) call this
+// once instead of paying per-access indirection.
+func (d *Dataset) Materialize() *Dataset {
+	if d.v == nil {
+		return d
+	}
+	n := d.NumExamples()
+	k := len(d.Features)
+	out := &Dataset{
+		Features: d.Features,
+		X:        make([]relational.Value, n*k),
+		Y:        make([]int8, n),
+	}
+	for i := 0; i < n; i++ {
+		d.RowInto(out.X[i*k:(i+1)*k], i)
+		out.Y[i] = d.Label(i)
+	}
+	return out
+}
+
+// MaterializedRows returns per-example row slices. For contiguous datasets
+// the slices alias internal storage (no allocation beyond the spine); for
+// view-backed datasets the rows are copied into one fresh block. The result
+// is safe to retain and to read concurrently, unlike Row's scratch.
+func (d *Dataset) MaterializedRows() [][]relational.Value {
+	n := d.NumExamples()
+	k := len(d.Features)
+	out := make([][]relational.Value, n)
+	if d.contiguous() {
+		for i := range out {
+			out[i] = d.Row(i)
+		}
+		return out
+	}
+	block := make([]relational.Value, n*k)
+	for i := range out {
+		row := block[i*k : (i+1)*k : (i+1)*k]
+		d.RowInto(row, i)
+		out[i] = row
+	}
+	return out
+}
+
+// DropFeatures returns a view of the dataset without the features at the
 // given positions (used by backward feature selection and ablations).
 func (d *Dataset) DropFeatures(drop map[int]bool) *Dataset {
 	var keep []int
@@ -141,23 +346,29 @@ func (d *Dataset) DropFeatures(drop map[int]bool) *Dataset {
 	return d.SelectFeatures(keep)
 }
 
-// SelectFeatures returns a copy of the dataset with only the features at the
-// given positions, in the given order.
+// SelectFeatures returns a view of the dataset with only the features at
+// the given positions, in the given order. No example data is copied;
+// column remaps compose with any existing view.
 func (d *Dataset) SelectFeatures(keep []int) *Dataset {
-	n := d.NumExamples()
-	out := &Dataset{
-		Features: make([]Feature, len(keep)),
-		X:        make([]relational.Value, 0, n*len(keep)),
-		Y:        append([]int8(nil), d.Y...),
-	}
+	feats := make([]Feature, len(keep))
 	for j, k := range keep {
-		out.Features[j] = d.Features[k]
+		feats[j] = d.Features[k]
 	}
-	for i := 0; i < n; i++ {
-		row := d.Row(i)
-		for _, k := range keep {
-			out.X = append(out.X, row[k])
+	out := &Dataset{Features: feats}
+	if d.v == nil {
+		out.v = &view{x: d.X, y: d.Y, baseW: len(d.Features), n: len(d.Y), cols: append([]int(nil), keep...)}
+		return out
+	}
+	nv := *d.v
+	if d.v.cols == nil {
+		nv.cols = append([]int(nil), keep...)
+	} else {
+		cols := make([]int, len(keep))
+		for j, k := range keep {
+			cols[j] = d.v.cols[k]
 		}
+		nv.cols = cols
 	}
+	out.v = &nv
 	return out
 }

@@ -252,7 +252,7 @@ func TestViewColumns(t *testing.T) {
 	name := func(cols []int) []string {
 		var out []string
 		for _, c := range cols {
-			out = append(out, joined.Schema.Cols[c].Name)
+			out = append(out, joined.Schema().Cols[c].Name)
 		}
 		return out
 	}
@@ -305,7 +305,7 @@ func TestViewOpenFKExcluded(t *testing.T) {
 	}
 	cols := ViewColumns(joined, JoinAll, nil)
 	for _, c := range cols {
-		if joined.Schema.Cols[c].Kind == relational.KindForeignKey {
+		if joined.Schema().Cols[c].Kind == relational.KindForeignKey {
 			t.Fatal("open FK must never be a feature")
 		}
 	}

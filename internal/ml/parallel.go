@@ -1,0 +1,58 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxParallelism caps the worker count of GridSearch and CrossValidate
+// fan-outs. Zero (the default) means runtime.GOMAXPROCS(0); 1 forces the
+// historical sequential execution. Results are reduced in deterministic
+// order regardless of the setting, so it only affects wall-clock.
+var MaxParallelism int
+
+// parallelism resolves the effective worker count for n independent tasks.
+func parallelism(n int) int {
+	p := MaxParallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// parallelFor runs fn(i) for i in [0, n) on a worker pool. Iterations are
+// claimed atomically, so scheduling is nondeterministic, but each index runs
+// exactly once; callers write results into per-index slots and reduce them
+// in index order afterwards to stay deterministic.
+func parallelFor(n int, fn func(i int)) {
+	workers := parallelism(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -24,7 +24,7 @@ type PartialSpec map[string][]string
 
 // PartialViewColumns selects the feature columns of a joined table under a
 // partial spec. It returns an error if a named feature does not exist.
-func PartialViewColumns(joined *relational.Table, spec PartialSpec) ([]int, error) {
+func PartialViewColumns(joined relational.Relation, spec PartialSpec) ([]int, error) {
 	want := make(map[string]bool)
 	for dim, feats := range spec {
 		for _, f := range feats {
@@ -32,7 +32,7 @@ func PartialViewColumns(joined *relational.Table, spec PartialSpec) ([]int, erro
 		}
 	}
 	var cols []int
-	for i, c := range joined.Schema.Cols {
+	for i, c := range joined.Schema().Cols {
 		switch c.Kind {
 		case relational.KindForeignKey:
 			if c.Open {
@@ -72,7 +72,7 @@ func splitForeign(name string) (string, bool) {
 }
 
 // PartialViewDataset builds the supervised dataset for a partial view.
-func PartialViewDataset(joined *relational.Table, targetCol int, spec PartialSpec) (*Dataset, error) {
+func PartialViewDataset(joined relational.Relation, targetCol int, spec PartialSpec) (*Dataset, error) {
 	cols, err := PartialViewColumns(joined, spec)
 	if err != nil {
 		return nil, err
@@ -82,9 +82,9 @@ func PartialViewDataset(joined *relational.Table, targetCol int, spec PartialSpe
 
 // ForeignFeatureNames lists, per dimension, the unqualified foreign feature
 // names available in a joined table — the menu a PartialSpec chooses from.
-func ForeignFeatureNames(joined *relational.Table) map[string][]string {
+func ForeignFeatureNames(joined relational.Relation) map[string][]string {
 	out := make(map[string][]string)
-	for _, c := range joined.Schema.Cols {
+	for _, c := range joined.Schema().Cols {
 		if c.Kind != relational.KindFeature {
 			continue
 		}

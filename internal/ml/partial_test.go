@@ -43,7 +43,7 @@ func TestPartialViewSubsets(t *testing.T) {
 	names := func(cols []int) []string {
 		var out []string
 		for _, c := range cols {
-			out = append(out, joined.Schema.Cols[c].Name)
+			out = append(out, joined.Schema().Cols[c].Name)
 		}
 		return out
 	}

@@ -47,9 +47,9 @@ func (v View) String() string {
 // omitDims optionally drops the foreign features of specific dimension
 // tables only (used by the Table 4 robustness sweep); nil means no extra
 // omissions.
-func ViewColumns(joined *relational.Table, v View, omitDims map[string]bool) []int {
+func ViewColumns(joined relational.Relation, v View, omitDims map[string]bool) []int {
 	var cols []int
-	for i, c := range joined.Schema.Cols {
+	for i, c := range joined.Schema().Cols {
 		switch c.Kind {
 		case relational.KindForeignKey:
 			if c.Open {
@@ -85,7 +85,7 @@ func foreignDim(name string) (string, bool) {
 }
 
 // ViewDataset builds the supervised dataset for a view over a joined table.
-func ViewDataset(joined *relational.Table, targetCol int, v View, omitDims map[string]bool) (*Dataset, error) {
+func ViewDataset(joined relational.Relation, targetCol int, v View, omitDims map[string]bool) (*Dataset, error) {
 	cols := ViewColumns(joined, v, omitDims)
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("ml: view %v selects no feature columns", v)

@@ -81,7 +81,7 @@ func MutualInformation(ds *ml.Dataset, j int) float64 {
 	joint := make([][2]float64, card)
 	var py [2]float64
 	for i := 0; i < n; i++ {
-		v := ds.Row(i)[j]
+		v := ds.At(i, j)
 		y := ds.Label(i)
 		joint[v][y]++
 		py[y]++

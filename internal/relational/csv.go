@@ -7,19 +7,23 @@ import (
 	"strconv"
 )
 
-// WriteCSV serializes the table as CSV: a header row of column names
+// WriteCSV serializes a relation as CSV: a header row of column names
 // followed by one row per tuple. Values are written as their labels when the
-// domain is labeled, otherwise as integer codes.
-func WriteCSV(w io.Writer, t *Table) error {
+// domain is labeled, otherwise as integer codes. Lazy relations (JoinView,
+// SelectView, …) stream out row by row without being materialized.
+func WriteCSV(w io.Writer, t Relation) error {
+	schema := t.Schema()
 	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Schema.Names()); err != nil {
+	if err := cw.Write(schema.Names()); err != nil {
 		return fmt.Errorf("relational: csv header: %w", err)
 	}
-	rec := make([]string, t.Schema.Width())
-	for i := 0; i < t.NumRows(); i++ {
-		row := t.Row(i)
+	rec := make([]string, schema.Width())
+	row := make([]Value, schema.Width())
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
+		t.CopyRow(row, i)
 		for j, v := range row {
-			d := t.Schema.Cols[j].Domain
+			d := schema.Cols[j].Domain
 			if d.Labels != nil {
 				rec[j] = d.Labels[v]
 			} else {

@@ -4,40 +4,62 @@ import (
 	"fmt"
 )
 
-// Join materializes the projected KFK equi-join
+// dimPlan is one dimension's contribution to the join output: the fact FK
+// column that addresses it and the dimension feature columns it exports.
+type dimPlan struct {
+	fkCol   int
+	dim     *Table
+	featIdx []int
+}
+
+// JoinView is the factorized KFK equi-join
 //
 //	T ← π(R_1 ⋈ … ⋈ R_q ⋈ S)
 //
-// that the paper calls JoinAll's input: the fact table's columns followed by
-// every dimension table's feature columns (primary keys are dropped — they
-// are redundant with the FK columns). Because each dimension's primary key is
-// the dense identity, each lookup is a direct row index and the join is a
-// single O(n_S · width) pass.
+// as a zero-copy Relation: the fact table's columns followed by every
+// dimension table's feature columns (primary keys are dropped — they are
+// redundant with the FK columns), with nothing materialized. Because each
+// dimension's primary key is the dense identity, At resolves a foreign
+// column with a single extra array index: fact FK lookup, then direct
+// dimension row access. The view holds only the schema and per-column plan
+// (O(width) memory) regardless of n_S, which is what cuts JoinAll peak
+// memory from O(n_S·(w_S+Σw_R)) to O(n_S·w_S).
 //
-// The output schema order is: all fact columns (target, home features,
-// foreign keys), then for each FK in fact-schema order, the referenced
-// dimension's feature columns renamed "<dim>.<col>". Open-domain FKs still
-// join (the paper joins Expedia's search table); openness only matters for
-// which columns a feature view may use.
-func Join(ss *StarSchema) (*Table, error) {
-	fact := ss.Fact
-	fkCols := fact.Schema.ColumnsOfKind(KindForeignKey)
+// The output schema order matches the historical materialized Join: all fact
+// columns (target, home features, foreign keys), then for each FK in
+// fact-schema order, the referenced dimension's feature columns renamed
+// "<dim>.<col>". Open-domain FKs still join (the paper joins Expedia's
+// search table); openness only matters for which columns a feature view may
+// use. Referential integrity (every FK within its dimension's row range) is
+// checked once at construction so At and CopyRow run unchecked.
+type JoinView struct {
+	fact   *Table
+	schema *Schema
+	factW  int
+	plans  []dimPlan
+	// Per output column >= factW: which plan and which dimension column.
+	colPlan []int32
+	colDim  []int32
+}
 
-	cols := append([]Column(nil), fact.Schema.Cols...)
-	type dimPlan struct {
-		fkCol   int
-		dim     *Table
-		featIdx []int
-	}
+// NewJoinView builds the factorized join over a star schema, validating
+// referential integrity with one pass over the fact table's FK columns.
+func NewJoinView(ss *StarSchema) (*JoinView, error) {
+	fact := ss.Fact
+	fkCols := fact.schema.ColumnsOfKind(KindForeignKey)
+
+	cols := append([]Column(nil), fact.schema.Cols...)
 	var plans []dimPlan
+	var colPlan []int32
+	var colDim []int32
 	for _, fkCol := range fkCols {
-		ref := fact.Schema.Cols[fkCol].Refs
+		ref := fact.schema.Cols[fkCol].Refs
 		dim := ss.Dimensions[ref]
 		if dim == nil {
 			return nil, fmt.Errorf("relational: join: unknown dimension %q", ref)
 		}
 		var featIdx []int
-		for i, c := range dim.Schema.Cols {
+		for i, c := range dim.schema.Cols {
 			if c.Kind == KindFeature {
 				featIdx = append(featIdx, i)
 				cols = append(cols, Column{
@@ -45,6 +67,8 @@ func Join(ss *StarSchema) (*Table, error) {
 					Kind:   KindFeature,
 					Domain: c.Domain,
 				})
+				colPlan = append(colPlan, int32(len(plans)))
+				colDim = append(colDim, int32(i))
 			}
 		}
 		plans = append(plans, dimPlan{fkCol: fkCol, dim: dim, featIdx: featIdx})
@@ -53,40 +77,94 @@ func Join(ss *StarSchema) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relational: join: %w", err)
 	}
-
-	out := NewTable(fact.Name+"_joined", schema, fact.NumRows())
-	row := make([]Value, schema.Width())
-	for i := 0; i < fact.NumRows(); i++ {
-		copy(row, fact.Row(i))
-		at := fact.Schema.Width()
-		for _, p := range plans {
+	// Referential integrity up front so row access is unchecked.
+	n := fact.NumRows()
+	for _, p := range plans {
+		dimN := p.dim.NumRows()
+		for i := 0; i < n; i++ {
 			fk := fact.At(i, p.fkCol)
-			if int(fk) >= p.dim.NumRows() || fk < 0 {
+			if int(fk) >= dimN || fk < 0 {
 				return nil, fmt.Errorf("relational: join: fact row %d FK %q = %d has no match in %q",
-					i, fact.Schema.Cols[p.fkCol].Name, fk, p.dim.Name)
-			}
-			dimRow := p.dim.Row(int(fk))
-			for _, fi := range p.featIdx {
-				row[at] = dimRow[fi]
-				at++
+					i, fact.schema.Cols[p.fkCol].Name, fk, p.dim.Name)
 			}
 		}
-		out.rows = append(out.rows, row...)
 	}
-	return out, nil
+	return &JoinView{
+		fact:    fact,
+		schema:  schema,
+		factW:   fact.width,
+		plans:   plans,
+		colPlan: colPlan,
+		colDim:  colDim,
+	}, nil
 }
 
-// VerifyFD checks that the functional dependency det → dep holds in table t:
-// every pair of rows agreeing on column det also agrees on column dep. This
-// is the property (FK → X_R in the join output) that makes avoiding joins
-// safe at all; the simulation and dataset generators are validated with it.
-func VerifyFD(t *Table, det, dep int) error {
-	detDom := t.Schema.Cols[det].Domain.Size
+// Schema implements Relation.
+func (v *JoinView) Schema() *Schema { return v.schema }
+
+// NumRows implements Relation.
+func (v *JoinView) NumRows() int { return v.fact.NumRows() }
+
+// At implements Relation: fact columns read through; foreign columns resolve
+// the FK indirection at access time.
+func (v *JoinView) At(row, col int) Value {
+	if col < v.factW {
+		return v.fact.At(row, col)
+	}
+	p := &v.plans[v.colPlan[col-v.factW]]
+	fk := v.fact.At(row, p.fkCol)
+	return p.dim.At(int(fk), int(v.colDim[col-v.factW]))
+}
+
+// CopyRow implements Relation: one contiguous fact-row copy, then one FK
+// lookup per dimension (not per cell).
+func (v *JoinView) CopyRow(dst []Value, row int) []Value {
+	w := v.schema.Width()
+	dst = dst[:w]
+	copy(dst, v.fact.rows[row*v.factW:(row+1)*v.factW])
+	at := v.factW
+	for i := range v.plans {
+		p := &v.plans[i]
+		fk := v.fact.At(row, p.fkCol)
+		dimRow := p.dim.Row(int(fk))
+		for _, fi := range p.featIdx {
+			dst[at] = dimRow[fi]
+			at++
+		}
+	}
+	return dst
+}
+
+// Fact returns the underlying fact table.
+func (v *JoinView) Fact() *Table { return v.fact }
+
+// Join materializes the projected KFK equi-join that the paper calls
+// JoinAll's input. It is now a thin wrapper — Materialize over the
+// factorized JoinView — kept for compatibility and for consumers that truly
+// need physical storage (CSV export, the FD verifiers' tight loops). The
+// join is a single O(n_S · width) pass.
+func Join(ss *StarSchema) (*Table, error) {
+	v, err := NewJoinView(ss)
+	if err != nil {
+		return nil, err
+	}
+	return Materialize(v, ss.Fact.Name+"_joined"), nil
+}
+
+// VerifyFD checks that the functional dependency det → dep holds in relation
+// t: every pair of rows agreeing on column det also agrees on column dep.
+// This is the property (FK → X_R in the join output) that makes avoiding
+// joins safe at all; the simulation and dataset generators are validated
+// with it.
+func VerifyFD(t Relation, det, dep int) error {
+	schema := t.Schema()
+	detDom := schema.Cols[det].Domain.Size
 	seen := make([]Value, detDom)
 	for i := range seen {
 		seen[i] = -1
 	}
-	for i := 0; i < t.NumRows(); i++ {
+	n := t.NumRows()
+	for i := 0; i < n; i++ {
 		d := t.At(i, det)
 		v := t.At(i, dep)
 		if seen[d] == -1 {
@@ -95,20 +173,21 @@ func VerifyFD(t *Table, det, dep int) error {
 		}
 		if seen[d] != v {
 			return fmt.Errorf("relational: FD %s→%s violated at row %d: %s=%d maps to both %d and %d",
-				t.Schema.Cols[det].Name, t.Schema.Cols[dep].Name, i, t.Schema.Cols[det].Name, d, seen[d], v)
+				schema.Cols[det].Name, schema.Cols[dep].Name, i, schema.Cols[det].Name, d, seen[d], v)
 		}
 	}
 	return nil
 }
 
-// VerifyKFKFDs verifies, on a joined table, that each foreign key column
-// functionally determines every feature column brought in from its
-// dimension table (columns named "<dim>.<feat>").
-func VerifyKFKFDs(joined *Table, ss *StarSchema) error {
-	for _, fkCol := range joined.Schema.ColumnsOfKind(KindForeignKey) {
-		ref := joined.Schema.Cols[fkCol].Refs
+// VerifyKFKFDs verifies, on a joined relation (materialized or JoinView),
+// that each foreign key column functionally determines every feature column
+// brought in from its dimension table (columns named "<dim>.<feat>").
+func VerifyKFKFDs(joined Relation, ss *StarSchema) error {
+	schema := joined.Schema()
+	for _, fkCol := range schema.ColumnsOfKind(KindForeignKey) {
+		ref := schema.Cols[fkCol].Refs
 		prefix := ref + "."
-		for i, c := range joined.Schema.Cols {
+		for i, c := range schema.Cols {
 			if c.Kind == KindFeature && len(c.Name) > len(prefix) && c.Name[:len(prefix)] == prefix {
 				if err := VerifyFD(joined, fkCol, i); err != nil {
 					return err

@@ -8,14 +8,18 @@ import (
 // Predicate decides whether a row belongs to a selection result.
 type Predicate func(row []Value) bool
 
-// Select (relational σ) materializes the rows of t satisfying pred, in
+// Select (relational σ) materializes the rows of r satisfying pred, in
 // order. Data scientists building fact tables from raw event tables need σ
 // and π constantly; these helpers keep that preprocessing inside the
-// library instead of ad-hoc loops.
-func Select(t *Table, name string, pred Predicate) *Table {
-	out := NewTable(name, t.Schema, 0)
-	for i := 0; i < t.NumRows(); i++ {
-		row := t.Row(i)
+// library instead of ad-hoc loops. The predicate receives a scratch row that
+// is only valid for the duration of the call.
+func Select(r Relation, name string, pred Predicate) *Table {
+	schema := r.Schema()
+	out := NewTable(name, schema, 0)
+	n := r.NumRows()
+	row := make([]Value, schema.Width())
+	for i := 0; i < n; i++ {
+		r.CopyRow(row, i)
 		if pred(row) {
 			out.rows = append(out.rows, row...)
 		}
@@ -24,66 +28,74 @@ func Select(t *Table, name string, pred Predicate) *Table {
 }
 
 // SelectEq is Select with an equality predicate on one column.
-func SelectEq(t *Table, name string, col int, v Value) (*Table, error) {
-	if col < 0 || col >= t.Schema.Width() {
+func SelectEq(r Relation, name string, col int, v Value) (*Table, error) {
+	schema := r.Schema()
+	if col < 0 || col >= schema.Width() {
 		return nil, fmt.Errorf("relational: column %d out of range", col)
 	}
-	if !t.Schema.Cols[col].Domain.Contains(v) {
-		return nil, fmt.Errorf("relational: value %d outside domain of %q", v, t.Schema.Cols[col].Name)
+	if !schema.Cols[col].Domain.Contains(v) {
+		return nil, fmt.Errorf("relational: value %d outside domain of %q", v, schema.Cols[col].Name)
 	}
-	return Select(t, name, func(row []Value) bool { return row[col] == v }), nil
+	return Select(r, name, func(row []Value) bool { return row[col] == v }), nil
 }
 
 // Project (relational π) materializes a new table with only the named
 // columns, in the given order. Projection never deduplicates (bag
-// semantics), matching the paper's π in T ← π(R ⋈ S).
-func Project(t *Table, name string, cols []string) (*Table, error) {
+// semantics), matching the paper's π in T ← π(R ⋈ S). For a lazy
+// alternative see NewProjectView.
+func Project(r Relation, name string, cols []string) (*Table, error) {
+	schema := r.Schema()
 	idx := make([]int, len(cols))
-	newCols := make([]Column, len(cols))
 	for j, c := range cols {
-		i := t.Schema.Index(c)
+		i := schema.Index(c)
 		if i < 0 {
 			return nil, fmt.Errorf("relational: project: unknown column %q", c)
 		}
 		idx[j] = i
-		newCols[j] = t.Schema.Cols[i]
 	}
-	schema, err := NewSchema(newCols...)
+	view, err := NewProjectView(r, idx)
 	if err != nil {
 		return nil, err
 	}
-	out := NewTable(name, schema, t.NumRows())
-	row := make([]Value, len(idx))
-	for i := 0; i < t.NumRows(); i++ {
-		src := t.Row(i)
-		for j, c := range idx {
-			row[j] = src[c]
-		}
-		out.rows = append(out.rows, row...)
-	}
-	return out, nil
+	return Materialize(view, name), nil
 }
 
-// GroupCount is one group of GroupBy: the grouping value and its row count.
-type GroupCount struct {
-	Value Value
-	Count int
-}
+// groupBySliceThreshold bounds the domain size for which GroupBy uses a
+// dense slice accumulator instead of a map. Above it the map's memory
+// proportional to *observed* distinct values wins.
+const groupBySliceThreshold = 1 << 16
 
 // GroupBy counts rows per value of one column, sorted by descending count
 // (ties by ascending value). It is the workhorse behind tuple-ratio
-// estimation from raw data and FK skew inspection.
-func GroupBy(t *Table, col int) ([]GroupCount, error) {
-	if col < 0 || col >= t.Schema.Width() {
+// estimation from raw data and FK skew inspection. Small closed domains use
+// a dense slice accumulator (no hashing in the per-row loop); larger ones
+// fall back to a map.
+func GroupBy(r Relation, col int) ([]GroupCount, error) {
+	schema := r.Schema()
+	if col < 0 || col >= schema.Width() {
 		return nil, fmt.Errorf("relational: column %d out of range", col)
 	}
-	counts := make(map[Value]int)
-	for i := 0; i < t.NumRows(); i++ {
-		counts[t.At(i, col)]++
-	}
-	out := make([]GroupCount, 0, len(counts))
-	for v, c := range counts {
-		out = append(out, GroupCount{Value: v, Count: c})
+	n := r.NumRows()
+	var out []GroupCount
+	if dom := schema.Cols[col].Domain.Size; dom <= groupBySliceThreshold {
+		counts := make([]int, dom)
+		for i := 0; i < n; i++ {
+			counts[r.At(i, col)]++
+		}
+		for v, c := range counts {
+			if c > 0 {
+				out = append(out, GroupCount{Value: Value(v), Count: c})
+			}
+		}
+	} else {
+		counts := make(map[Value]int)
+		for i := 0; i < n; i++ {
+			counts[r.At(i, col)]++
+		}
+		out = make([]GroupCount, 0, len(counts))
+		for v, c := range counts {
+			out = append(out, GroupCount{Value: v, Count: c})
+		}
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Count != out[b].Count {
@@ -94,11 +106,17 @@ func GroupBy(t *Table, col int) ([]GroupCount, error) {
 	return out, nil
 }
 
+// GroupCount is one group of GroupBy: the grouping value and its row count.
+type GroupCount struct {
+	Value Value
+	Count int
+}
+
 // DistinctCount returns the number of distinct values in a column — the
 // n_R estimate when the dimension table itself is unavailable and the tuple
 // ratio must be derived from the fact table's FK column alone.
-func DistinctCount(t *Table, col int) (int, error) {
-	groups, err := GroupBy(t, col)
+func DistinctCount(r Relation, col int) (int, error) {
+	groups, err := GroupBy(r, col)
 	if err != nil {
 		return 0, err
 	}
@@ -111,8 +129,8 @@ func DistinctCount(t *Table, col int) (int, error) {
 // values ≤ |D_FK|), so callers comparing against a safety threshold get a
 // conservative *decision* — a smaller denominator would only raise the
 // ratio; using the full domain size when known is still preferred.
-func EstimateTupleRatio(fact *Table, fkCol int) (float64, error) {
-	c := fact.Schema.Cols[fkCol]
+func EstimateTupleRatio(fact Relation, fkCol int) (float64, error) {
+	c := fact.Schema().Cols[fkCol]
 	if c.Kind != KindForeignKey {
 		return 0, fmt.Errorf("relational: column %q is %v, not a foreign key", c.Name, c.Kind)
 	}

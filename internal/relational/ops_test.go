@@ -62,8 +62,8 @@ func TestProject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.Schema.Width() != 2 || p.Schema.Cols[0].Name != "FK" || p.Schema.Cols[1].Name != "Y" {
-		t.Fatalf("projection schema wrong: %v", p.Schema.Names())
+	if p.Schema().Width() != 2 || p.Schema().Cols[0].Name != "FK" || p.Schema().Cols[1].Name != "Y" {
+		t.Fatalf("projection schema wrong: %v", p.Schema().Names())
 	}
 	if p.NumRows() != tab.NumRows() {
 		t.Fatal("projection must keep bag semantics (no dedup)")
@@ -126,7 +126,7 @@ func TestEstimateTupleRatio(t *testing.T) {
 	if _, err := EstimateTupleRatio(tab, 1); err == nil {
 		t.Fatal("non-FK column must error")
 	}
-	empty := NewTable("e", tab.Schema, 0)
+	empty := NewTable("e", tab.Schema(), 0)
 	if _, err := EstimateTupleRatio(empty, 2); err == nil {
 		t.Fatal("empty fact table must error")
 	}

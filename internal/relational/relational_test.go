@@ -167,8 +167,8 @@ func TestJoinProducesFDAndWidth(t *testing.T) {
 		t.Fatalf("Join: %v", err)
 	}
 	// Fact width 3 + 2 dimension features.
-	if joined.Schema.Width() != 5 {
-		t.Fatalf("joined width = %d, want 5", joined.Schema.Width())
+	if joined.Schema().Width() != 5 {
+		t.Fatalf("joined width = %d, want 5", joined.Schema().Width())
 	}
 	if joined.NumRows() != ss.Fact.NumRows() {
 		t.Fatalf("KFK join must preserve fact cardinality: %d vs %d", joined.NumRows(), ss.Fact.NumRows())
@@ -177,10 +177,10 @@ func TestJoinProducesFDAndWidth(t *testing.T) {
 		t.Fatalf("FD FK→XR must hold in join output: %v", err)
 	}
 	// Spot-check one row: customer 1 has employer 1 → State=WI(1), Revenue=low(0).
-	stateCol := joined.Schema.Index("Employers.State")
-	revCol := joined.Schema.Index("Employers.Revenue")
+	stateCol := joined.Schema().Index("Employers.State")
+	revCol := joined.Schema().Index("Employers.Revenue")
 	if stateCol < 0 || revCol < 0 {
-		t.Fatalf("joined schema missing dimension columns: %v", joined.Schema.Names())
+		t.Fatalf("joined schema missing dimension columns: %v", joined.Schema().Names())
 	}
 	if joined.At(1, stateCol) != 1 || joined.At(1, revCol) != 0 {
 		t.Fatalf("join lookup wrong: state=%d rev=%d", joined.At(1, stateCol), joined.At(1, revCol))
@@ -263,7 +263,7 @@ func TestSplitFractions(t *testing.T) {
 	// Determinism.
 	sp2, _ := PaperSplit(big, rng.New(1))
 	for i := 0; i < sp.Train.NumRows(); i++ {
-		for j := 0; j < sp.Train.Schema.Width(); j++ {
+		for j := 0; j < sp.Train.Schema().Width(); j++ {
 			if sp.Train.At(i, j) != sp2.Train.At(i, j) {
 				t.Fatal("split not deterministic")
 			}
@@ -287,7 +287,7 @@ func TestCSVRoundTrip(t *testing.T) {
 	if err := WriteCSV(&buf, ss.Fact); err != nil {
 		t.Fatalf("WriteCSV: %v", err)
 	}
-	back, err := ReadCSV(&buf, "Customers", ss.Fact.Schema)
+	back, err := ReadCSV(&buf, "Customers", ss.Fact.Schema())
 	if err != nil {
 		t.Fatalf("ReadCSV: %v", err)
 	}
@@ -295,7 +295,7 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Fatalf("row count %d != %d", back.NumRows(), ss.Fact.NumRows())
 	}
 	for i := 0; i < back.NumRows(); i++ {
-		for j := 0; j < back.Schema.Width(); j++ {
+		for j := 0; j < back.Schema().Width(); j++ {
 			if back.At(i, j) != ss.Fact.At(i, j) {
 				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
 			}
@@ -306,7 +306,7 @@ func TestCSVRoundTrip(t *testing.T) {
 func TestCSVRejectsUnknownLabel(t *testing.T) {
 	ss := buildCustomerStar(t)
 	in := "Churn,Gender,Employer\nmaybe,F,0\n"
-	if _, err := ReadCSV(strings.NewReader(in), "bad", ss.Fact.Schema); err == nil {
+	if _, err := ReadCSV(strings.NewReader(in), "bad", ss.Fact.Schema()); err == nil {
 		t.Fatal("expected unknown-label error")
 	}
 }
@@ -314,7 +314,7 @@ func TestCSVRejectsUnknownLabel(t *testing.T) {
 func TestCSVRejectsHeaderMismatch(t *testing.T) {
 	ss := buildCustomerStar(t)
 	in := "A,B,C\n0,0,0\n"
-	if _, err := ReadCSV(strings.NewReader(in), "bad", ss.Fact.Schema); err == nil {
+	if _, err := ReadCSV(strings.NewReader(in), "bad", ss.Fact.Schema()); err == nil {
 		t.Fatal("expected header error")
 	}
 }
@@ -339,11 +339,11 @@ func TestSelectRowsAndClone(t *testing.T) {
 
 func TestColumnsOfKindAndNames(t *testing.T) {
 	ss := buildCustomerStar(t)
-	fks := ss.Fact.Schema.ColumnsOfKind(KindForeignKey)
+	fks := ss.Fact.Schema().ColumnsOfKind(KindForeignKey)
 	if len(fks) != 1 || fks[0] != 2 {
 		t.Fatalf("ColumnsOfKind(FK) = %v", fks)
 	}
-	if got := ss.Fact.Schema.FeatureNames(); len(got) != 1 || got[0] != "Gender" {
+	if got := ss.Fact.Schema().FeatureNames(); len(got) != 1 || got[0] != "Gender" {
 		t.Fatalf("FeatureNames = %v", got)
 	}
 	if ColumnKind(99).String() == "" {

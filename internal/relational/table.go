@@ -7,41 +7,45 @@ import (
 // Table is a column-named, row-major matrix of categorical codes. Rows are
 // stored contiguously ([]Value of length Width per row) for cache-friendly
 // scans; all learners in this repository consume tables through views that
-// avoid copying.
+// avoid copying. Table implements Relation and is its only physical
+// (materialized) implementation.
 type Table struct {
 	Name   string
-	Schema *Schema
-	rows   []Value // len == NumRows * Schema.Width()
+	schema *Schema
+	width  int     // cached schema.Width(); hot accessors avoid the pointer chase
+	rows   []Value // len == NumRows * width
 }
 
 // NewTable creates an empty table with capacity hint rows.
 func NewTable(name string, schema *Schema, capHint int) *Table {
 	return &Table{
 		Name:   name,
-		Schema: schema,
+		schema: schema,
+		width:  schema.Width(),
 		rows:   make([]Value, 0, capHint*schema.Width()),
 	}
 }
 
-// NumRows returns the row count.
+// Schema implements Relation.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows implements Relation.
 func (t *Table) NumRows() int {
-	w := t.Schema.Width()
-	if w == 0 {
+	if t.width == 0 {
 		return 0
 	}
-	return len(t.rows) / w
+	return len(t.rows) / t.width
 }
 
 // AppendRow appends one row after validating width and domain membership.
 func (t *Table) AppendRow(row []Value) error {
-	w := t.Schema.Width()
-	if len(row) != w {
-		return fmt.Errorf("relational: table %q expects %d columns, row has %d", t.Name, w, len(row))
+	if len(row) != t.width {
+		return fmt.Errorf("relational: table %q expects %d columns, row has %d", t.Name, t.width, len(row))
 	}
 	for i, v := range row {
-		if !t.Schema.Cols[i].Domain.Contains(v) {
+		if !t.schema.Cols[i].Domain.Contains(v) {
 			return fmt.Errorf("relational: table %q column %q: value %d outside domain of size %d",
-				t.Name, t.Schema.Cols[i].Name, v, t.Schema.Cols[i].Domain.Size)
+				t.Name, t.schema.Cols[i].Name, v, t.schema.Cols[i].Domain.Size)
 		}
 	}
 	t.rows = append(t.rows, row...)
@@ -59,30 +63,36 @@ func (t *Table) MustAppendRow(row []Value) {
 // Row returns a read-only view of row i. The returned slice aliases the
 // table's storage; callers must not modify it.
 func (t *Table) Row(i int) []Value {
-	w := t.Schema.Width()
-	return t.rows[i*w : (i+1)*w : (i+1)*w]
+	return t.rows[i*t.width : (i+1)*t.width : (i+1)*t.width]
 }
 
-// At returns the value at (row, col).
+// At implements Relation.
 func (t *Table) At(row, col int) Value {
-	return t.rows[row*t.Schema.Width()+col]
+	return t.rows[row*t.width+col]
+}
+
+// CopyRow implements Relation.
+func (t *Table) CopyRow(dst []Value, row int) []Value {
+	dst = dst[:t.width]
+	copy(dst, t.rows[row*t.width:(row+1)*t.width])
+	return dst
 }
 
 // Set overwrites the value at (row, col) after a domain check.
 func (t *Table) Set(row, col int, v Value) error {
-	if !t.Schema.Cols[col].Domain.Contains(v) {
+	if !t.schema.Cols[col].Domain.Contains(v) {
 		return fmt.Errorf("relational: table %q column %q: value %d outside domain",
-			t.Name, t.Schema.Cols[col].Name, v)
+			t.Name, t.schema.Cols[col].Name, v)
 	}
-	t.rows[row*t.Schema.Width()+col] = v
+	t.rows[row*t.width+col] = v
 	return nil
 }
 
 // ColumnValues copies column col into a fresh slice.
 func (t *Table) ColumnValues(col int) []Value {
 	n := t.NumRows()
+	w := t.width
 	out := make([]Value, n)
-	w := t.Schema.Width()
 	for i := 0; i < n; i++ {
 		out[i] = t.rows[i*w+col]
 	}
@@ -90,9 +100,10 @@ func (t *Table) ColumnValues(col int) []Value {
 }
 
 // SelectRows materializes a new table containing the given row indices in
-// order. Indices may repeat; they must be in range.
+// order. Indices may repeat; they must be in range. For a lazy alternative
+// see NewSelectView.
 func (t *Table) SelectRows(name string, idx []int) *Table {
-	out := NewTable(name, t.Schema, len(idx))
+	out := NewTable(name, t.schema, len(idx))
 	for _, i := range idx {
 		out.rows = append(out.rows, t.Row(i)...)
 	}
@@ -102,7 +113,7 @@ func (t *Table) SelectRows(name string, idx []int) *Table {
 // Clone deep-copies the table (schema is shared; schemas are immutable by
 // convention).
 func (t *Table) Clone(name string) *Table {
-	out := &Table{Name: name, Schema: t.Schema, rows: append([]Value(nil), t.rows...)}
+	out := &Table{Name: name, schema: t.schema, width: t.width, rows: append([]Value(nil), t.rows...)}
 	return out
 }
 
@@ -127,14 +138,14 @@ func NewStarSchema(fact *Table, dims ...*Table) (*StarSchema, error) {
 		if _, dup := ss.Dimensions[d.Name]; dup {
 			return nil, fmt.Errorf("relational: duplicate dimension table %q", d.Name)
 		}
-		pks := d.Schema.ColumnsOfKind(KindPrimaryKey)
+		pks := d.schema.ColumnsOfKind(KindPrimaryKey)
 		if len(pks) != 1 {
 			return nil, fmt.Errorf("relational: dimension %q must have exactly 1 primary key, has %d", d.Name, len(pks))
 		}
 		pk := pks[0]
-		if d.Schema.Cols[pk].Domain.Size != d.NumRows() {
+		if d.schema.Cols[pk].Domain.Size != d.NumRows() {
 			return nil, fmt.Errorf("relational: dimension %q primary key domain size %d != row count %d",
-				d.Name, d.Schema.Cols[pk].Domain.Size, d.NumRows())
+				d.Name, d.schema.Cols[pk].Domain.Size, d.NumRows())
 		}
 		for i := 0; i < d.NumRows(); i++ {
 			if d.At(i, pk) != Value(i) {
@@ -144,21 +155,21 @@ func NewStarSchema(fact *Table, dims ...*Table) (*StarSchema, error) {
 		}
 		ss.Dimensions[d.Name] = d
 	}
-	targets := fact.Schema.ColumnsOfKind(KindTarget)
+	targets := fact.schema.ColumnsOfKind(KindTarget)
 	if len(targets) != 1 {
 		return nil, fmt.Errorf("relational: fact table %q must have exactly 1 target column, has %d", fact.Name, len(targets))
 	}
 	ss.TargetCol = targets[0]
-	for _, fkCol := range fact.Schema.ColumnsOfKind(KindForeignKey) {
-		c := fact.Schema.Cols[fkCol]
+	for _, fkCol := range fact.schema.ColumnsOfKind(KindForeignKey) {
+		c := fact.schema.Cols[fkCol]
 		dim, ok := ss.Dimensions[c.Refs]
 		if !ok {
 			return nil, fmt.Errorf("relational: fact FK %q references unknown dimension %q", c.Name, c.Refs)
 		}
-		pk := dim.Schema.ColumnsOfKind(KindPrimaryKey)[0]
-		if dim.Schema.Cols[pk].Domain.Size != c.Domain.Size {
+		pk := dim.schema.ColumnsOfKind(KindPrimaryKey)[0]
+		if dim.schema.Cols[pk].Domain.Size != c.Domain.Size {
 			return nil, fmt.Errorf("relational: FK %q domain size %d != dimension %q key domain size %d",
-				c.Name, c.Domain.Size, c.Refs, dim.Schema.Cols[pk].Domain.Size)
+				c.Name, c.Domain.Size, c.Refs, dim.schema.Cols[pk].Domain.Size)
 		}
 	}
 	return ss, nil
@@ -167,8 +178,8 @@ func NewStarSchema(fact *Table, dims ...*Table) (*StarSchema, error) {
 // DimensionNames returns dimension table names in fact-schema FK order.
 func (ss *StarSchema) DimensionNames() []string {
 	var out []string
-	for _, fkCol := range ss.Fact.Schema.ColumnsOfKind(KindForeignKey) {
-		out = append(out, ss.Fact.Schema.Cols[fkCol].Refs)
+	for _, fkCol := range ss.Fact.schema.ColumnsOfKind(KindForeignKey) {
+		out = append(out, ss.Fact.schema.Cols[fkCol].Refs)
 	}
 	return out
 }
@@ -178,8 +189,8 @@ func (ss *StarSchema) DimensionNames() []string {
 // table's *cardinality* (its key domain size), not its contents, which is
 // why the decision can be made before procuring the table.
 func (ss *StarSchema) TupleRatio(dim string) (float64, error) {
-	for _, fkCol := range ss.Fact.Schema.ColumnsOfKind(KindForeignKey) {
-		c := ss.Fact.Schema.Cols[fkCol]
+	for _, fkCol := range ss.Fact.schema.ColumnsOfKind(KindForeignKey) {
+		c := ss.Fact.schema.Cols[fkCol]
 		if c.Refs == dim {
 			return float64(ss.Fact.NumRows()) / float64(c.Domain.Size), nil
 		}

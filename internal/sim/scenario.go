@@ -186,7 +186,7 @@ func (s *OneXr) Sample(r *rng.RNG) (*TrialData, error) {
 // table with nS + nS/4 + nS/4 rows.
 func (s *OneXr) buildStar(r *rng.RNG) (*relational.StarSchema, error) {
 	dim := s.Dimension()
-	keyDom := dim.Schema.Cols[0].Domain
+	keyDom := dim.Schema().Cols[0].Domain
 	binDom := relational.NewDomain("bit", 2)
 
 	fcols := []relational.Column{{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)}}
@@ -227,7 +227,10 @@ func bayesFlip(p float64) float64 {
 // ranges, and produces the three feature views. bayesOf maps a fact row to
 // its Bayes label (it receives the raw fact row and its FK column index).
 func buildTrial(ss *relational.StarSchema, nS int, bayesOf func(row []relational.Value, fkCol int) int8) (*TrialData, error) {
-	joined, err := relational.Join(ss)
+	// Factorized: the trial's nine datasets (3 views × train/val/test) are
+	// all index/column remaps over this one join view; the only physical
+	// data in a trial is the sampled fact table plus the dimension table.
+	joined, err := relational.NewJoinView(ss)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +249,7 @@ func buildTrial(ss *relational.StarSchema, nS int, bayesOf func(row []relational
 		td.Val[v] = full.Subset(valIdx)
 		td.Test[v] = full.Subset(testIdx)
 	}
-	fkCols := ss.Fact.Schema.ColumnsOfKind(relational.KindForeignKey)
+	fkCols := ss.Fact.Schema().ColumnsOfKind(relational.KindForeignKey)
 	fkCol := fkCols[0]
 	td.BayesTest = make([]int8, len(testIdx))
 	for i, ti := range testIdx {

@@ -77,6 +77,12 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	n := ds.NumExamples()
 	d := ds.NumFeatures()
 
+	// Pin every training row once. For contiguous datasets this aliases
+	// storage (no copy); for view-backed datasets it is the single
+	// materialization SMO pays, needed because the kernel loops read two
+	// rows at a time and the support set must outlive Fit.
+	rows := ds.MaterializedRows()
+
 	k, err := NewKernel(s.cfg.Kernel, s.cfg.Gamma, d)
 	if err != nil {
 		return err
@@ -121,7 +127,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 		for i := 0; i < n; i++ {
 			kcache[i*n+i] = float32(k.Self())
 			for j := i + 1; j < n; j++ {
-				v := float32(k.Eval(ds.Row(i), ds.Row(j)))
+				v := float32(k.Eval(rows[i], rows[j]))
 				kcache[i*n+j] = v
 				kcache[j*n+i] = v
 			}
@@ -134,7 +140,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 		if i == j {
 			return k.Self()
 		}
-		return k.Eval(ds.Row(i), ds.Row(j))
+		return k.Eval(rows[i], rows[j])
 	}
 
 	// f(i) = Σ_j α_j y_j k(i,j) + b
@@ -214,7 +220,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	s.svAlphaY = s.svAlphaY[:0]
 	for i := 0; i < n; i++ {
 		if alpha[i] > 0 {
-			s.svRows = append(s.svRows, ds.Row(i))
+			s.svRows = append(s.svRows, rows[i])
 			s.svAlphaY = append(s.svAlphaY, alpha[i]*y[i])
 		}
 	}

@@ -233,7 +233,7 @@ func (t *Tree) grow(ds *ml.Dataset, idx []int, rootImpurity float64, depth int) 
 	left := make([]int, 0, best.nLeft)
 	right := make([]int, 0, len(idx)-best.nLeft)
 	for _, i := range idx {
-		if best.goLeft[ds.Row(i)[best.feature]] {
+		if best.goLeft[ds.At(i, best.feature)] {
 			left = append(left, i)
 		} else {
 			right = append(right, i)
@@ -265,7 +265,7 @@ func (t *Tree) bestSplit(ds *ml.Dataset, idx []int) *split {
 		// Tally per-value (count, positives) over the node's examples.
 		cnt := make(map[relational.Value][2]int, min(card, nodeN))
 		for _, i := range idx {
-			v := ds.Row(i)[j]
+			v := ds.At(i, j)
 			c := cnt[v]
 			c[0]++
 			if ds.Label(i) == 1 {
