@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/ml"
+	"repro/internal/nb"
 	"repro/internal/relational"
 	"repro/internal/sim"
 	"repro/internal/svm"
@@ -359,6 +360,89 @@ func BenchmarkJoinMaterialized(b *testing.B) { benchJoinPipeline(b, false) }
 // BenchmarkJoinView is the factorized pipeline: the join stays virtual and
 // every access resolves through the FK indirection.
 func BenchmarkJoinView(b *testing.B) { benchJoinPipeline(b, true) }
+
+// --- Columnar-engine benchmarks: row-at-a-time vs batched column training. ---
+
+// benchTrainSplit prepares the Movies JoinAll training split on the chosen
+// storage engine. Env construction (including, for the columnar engine, the
+// one-time join materialization) is setup, not measurement: the paper's
+// pipelines tune hyper-parameters with grid search, so one prepared split is
+// trained on many times.
+func benchTrainSplit(b *testing.B, engine core.Engine) *ml.Dataset {
+	b.Helper()
+	spec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, envInt("REPRO_SCALE", 256), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := core.NewEnvEngine(ss, 7, engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _, _, err := env.ViewSplits(ml.JoinAll, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return train
+}
+
+// benchNBFit measures one Naive Bayes Fit — the paper's cheapest learner,
+// where data access dominates arithmetic — under the row-at-a-time counting
+// loop on the zero-copy row engine vs the batched column path on the
+// columnar engine.
+func benchNBFit(b *testing.B, columnar bool) {
+	engine := core.EngineRow
+	if columnar {
+		engine = core.EngineColumnar
+	}
+	train := benchTrainSplit(b, engine)
+	cfg := nb.Config{RowAtATime: !columnar}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nb.New(cfg)
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNBFitRowAtATime is the historical path: example-at-a-time
+// counting through the lazy join view.
+func BenchmarkNBFitRowAtATime(b *testing.B) { benchNBFit(b, false) }
+
+// BenchmarkNBFitColumnar is the batch path: label scan + per-feature
+// column scans over width-narrowed columnar storage.
+func BenchmarkNBFitColumnar(b *testing.B) { benchNBFit(b, true) }
+
+// benchTreeFit measures one decision-tree Fit — dominated by the per-node
+// split search — under the per-cell map-tally search on the row engine vs
+// the morsel-parallel columnar search on the columnar engine.
+func benchTreeFit(b *testing.B, columnar bool) {
+	engine := core.EngineRow
+	if columnar {
+		engine = core.EngineColumnar
+	}
+	train := benchTrainSplit(b, engine)
+	cfg := tree.Config{Criterion: tree.Gini, MinSplit: 10, CP: 1e-3, RowAtATime: !columnar}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tree.New(cfg)
+		if err := tr.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeSplitRowAtATime is the historical per-cell split search.
+func BenchmarkTreeSplitRowAtATime(b *testing.B) { benchTreeFit(b, false) }
+
+// BenchmarkTreeSplitColumnar is the batched column-scan split search.
+func BenchmarkTreeSplitColumnar(b *testing.B) { benchTreeFit(b, true) }
 
 // --- Ablation benches for the design decisions DESIGN.md calls out. ---
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hamlet -table 2 [-scale 64] [-effort fast|full] [-svmcap 400] [-seed 1]
+//	hamlet -table 2 [-scale 64] [-effort fast|full] [-svmcap 400] [-seed 1] [-engine row|col]
 //	hamlet -figure 1
 //	hamlet -all
 //
@@ -40,6 +40,7 @@ func run(args []string) error {
 	effort := fs.String("effort", "fast", "hyper-parameter grids: fast or full (paper-exact)")
 	svmCap := fs.Int("svmcap", 400, "SMO training-set cap (0 = unbounded)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	engine := fs.String("engine", "row", "storage engine for experiment data: row (zero-copy join view) or col (columnar)")
 	csvOut := fs.String("csv", "", "also export accuracy cells (tables 2/3/5/6) as CSV to this path")
 	jsonOut := fs.String("json", "", "also export accuracy cells as JSON to this path")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,11 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown effort %q (want fast or full)", *effort)
 	}
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	o.Engine = eng
 
 	export := func(cells []experiments.AccuracyCell) error {
 		if *csvOut != "" {

@@ -4,11 +4,12 @@ import "testing"
 
 func TestRunRejectsBadArguments(t *testing.T) {
 	cases := [][]string{
-		{},                   // nothing to do
-		{"-table", "9"},      // unknown table
-		{"-effort", "bogus"}, // unknown effort
-		{"-figure", "3"},     // only figure 1 lives here
-		{"-unknown-flag"},    // flag parse error
+		{},                                     // nothing to do
+		{"-table", "9"},                        // unknown table
+		{"-effort", "bogus"},                   // unknown effort
+		{"-figure", "3"},                       // only figure 1 lives here
+		{"-unknown-flag"},                      // flag parse error
+		{"-table", "1", "-engine", "diagonal"}, // unknown storage engine
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

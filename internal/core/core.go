@@ -99,13 +99,58 @@ func Advise(ss *relational.StarSchema, f Family) ([]Advice, error) {
 	return out, nil
 }
 
+// Engine selects the physical storage strategy an experiment Env reads its
+// joined relation through. All engines produce bit-identical experiment
+// results (same split permutation, same cell values); they differ in memory
+// layout and therefore in which access pattern is fast.
+type Engine int
+
+const (
+	// EngineRow is the factorized default: the join stays a zero-copy
+	// JoinView over the row-major base tables, nothing is materialized, and
+	// cell accesses resolve the FK indirection lazily.
+	EngineRow Engine = iota
+	// EngineColumnar evaluates the join once into a width-narrowed
+	// struct-of-arrays ColumnarTable. It trades one O(n_S · width)
+	// materialization pass (into storage that is typically *smaller* than
+	// the fact table's row-major block, since dictionary codes narrow to
+	// uint8/uint16) for sequential single-column scans on the learners'
+	// batch training path.
+	EngineColumnar
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineRow:
+		return "row"
+	case EngineColumnar:
+		return "col"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses the -engine flag values "row" and "col".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "row":
+		return EngineRow, nil
+	case "col", "columnar":
+		return EngineColumnar, nil
+	default:
+		return EngineRow, fmt.Errorf("core: unknown storage engine %q (want row or col)", s)
+	}
+}
+
 // Env is a dataset prepared for experiments: the (factorized) join of a
 // star schema and the paper's fixed 50/25/25 train/validation/test split of
 // it. Since the zero-copy refactor Joined is a relational.JoinView by
 // default — the joined table never exists physically; the split parts are
 // index views over it and the ml datasets carved from them resolve feature
-// accesses through the FK indirection. NewEnvMaterialized restores the
-// historical eager pipeline (same seeds, bit-identical results).
+// accesses through the FK indirection. NewEnvColumnar instead materializes
+// the join into columnar storage (see Engine); NewEnvMaterialized restores
+// the historical eager row-major pipeline. All three yield bit-identical
+// results.
 type Env struct {
 	Star      *relational.StarSchema
 	Joined    relational.Relation
@@ -122,6 +167,30 @@ func NewEnv(ss *relational.StarSchema, seed uint64) (*Env, error) {
 		return nil, err
 	}
 	return newEnvOver(ss, joined, seed)
+}
+
+// NewEnvColumnar is NewEnv on the columnar storage engine: the factorized
+// join is evaluated once into a relational.ColumnarTable and the lazy split
+// views sit on top of it, so every ScanFeature a learner issues bottoms out
+// in a sequential scan of one narrow column vector.
+func NewEnvColumnar(ss *relational.StarSchema, seed uint64) (*Env, error) {
+	jv, err := relational.NewJoinView(ss)
+	if err != nil {
+		return nil, err
+	}
+	joined := relational.MaterializeColumnar(jv, ss.Fact.Name+"_joined")
+	return newEnvOver(ss, joined, seed)
+}
+
+// NewEnvEngine dispatches on the engine choice — the seam cmd/hamlet's
+// -engine flag plugs into.
+func NewEnvEngine(ss *relational.StarSchema, seed uint64, engine Engine) (*Env, error) {
+	switch engine {
+	case EngineColumnar:
+		return NewEnvColumnar(ss, seed)
+	default:
+		return NewEnv(ss, seed)
+	}
 }
 
 // NewEnvMaterialized is NewEnv with the historical eager pipeline: the join

@@ -442,3 +442,71 @@ func TestPrunedTreeSpec(t *testing.T) {
 		t.Fatalf("post-pruning lost too much: %v vs %v", res.TestAcc, base.TestAcc)
 	}
 }
+
+func TestColumnarEngineMatchesRowEngine(t *testing.T) {
+	// Acceptance check for the columnar storage engine: running the same
+	// experiment cells against EngineColumnar must produce bit-identical
+	// accuracies and grid winners to the zero-copy row engine — the engines
+	// differ only in physical layout, never in cell values or split
+	// permutation.
+	spec, err := dataset.SpecByName("Walmart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := NewEnvEngine(ss, 7, EngineRow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewEnvEngine(ss, 7, EngineColumnar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := row.Joined.(*relational.JoinView); !ok {
+		t.Fatalf("row env joined is %T, want *relational.JoinView", row.Joined)
+	}
+	if _, ok := col.Joined.(*relational.ColumnarTable); !ok {
+		t.Fatalf("columnar env joined is %T, want *relational.ColumnarTable", col.Joined)
+	}
+	for _, mspec := range []Spec{TreeSpec(tree.Gini, EffortFast), NaiveBayesBFSSpec()} {
+		for _, v := range []ml.View{ml.JoinAll, ml.NoJoin} {
+			rres, err := Run(row, v, mspec, 11)
+			if err != nil {
+				t.Fatalf("row %s/%v: %v", mspec.Name, v, err)
+			}
+			cres, err := Run(col, v, mspec, 11)
+			if err != nil {
+				t.Fatalf("col %s/%v: %v", mspec.Name, v, err)
+			}
+			if rres.TestAcc != cres.TestAcc || rres.TrainAcc != cres.TrainAcc || rres.ValAcc != cres.ValAcc {
+				t.Fatalf("%s/%v diverged across engines: row (test %v train %v val %v) vs col (test %v train %v val %v)",
+					mspec.Name, v, rres.TestAcc, rres.TrainAcc, rres.ValAcc,
+					cres.TestAcc, cres.TrainAcc, cres.ValAcc)
+			}
+			for k, pv := range rres.BestPoint {
+				if cres.BestPoint[k] != pv {
+					t.Fatalf("%s/%v picked different grid points: %v vs %v",
+						mspec.Name, v, rres.BestPoint, cres.BestPoint)
+				}
+			}
+		}
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{"row": EngineRow, "col": EngineColumnar, "columnar": EngineColumnar} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseEngine("paper"); err == nil {
+		t.Fatal("ParseEngine must reject unknown engines")
+	}
+	if EngineRow.String() != "row" || EngineColumnar.String() != "col" {
+		t.Fatalf("engine names: %v %v", EngineRow, EngineColumnar)
+	}
+}

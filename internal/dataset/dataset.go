@@ -173,8 +173,10 @@ func Generate(spec Spec, scale int, seed uint64) (*relational.StarSchema, error)
 		st.table = relational.NewTable(d.Name, relational.MustSchema(cols...), nR)
 		st.latent = make([]float64, nR)
 		st.feat = make([]float64, nR)
-		row := make([]relational.Value, len(cols))
+		w := len(cols)
+		block := make([]relational.Value, nR*w)
 		for k := 0; k < nR; k++ {
+			row := block[k*w : (k+1)*w]
 			row[0] = relational.Value(k)
 			for j := 0; j < d.DR; j++ {
 				row[1+j] = relational.Value(r.Intn(d.Card))
@@ -185,8 +187,8 @@ func Generate(spec Spec, scale int, seed uint64) (*relational.StarSchema, error)
 			if d.DR > 0 {
 				st.feat[k] = pm(int(row[1]) < d.Card/2)
 			}
-			st.table.MustAppendRow(row)
 		}
+		st.table.MustAppendRows(block)
 		states[di] = st
 	}
 
@@ -202,6 +204,10 @@ func Generate(spec Spec, scale int, seed uint64) (*relational.StarSchema, error)
 		})
 	}
 	fact := relational.NewTable(spec.Name, relational.MustSchema(fcols...), nS)
+	fact.Reserve(nS)
+	// Rows are staged through the bulk-ingestion path: per-column domain
+	// validation, bounded staging buffer.
+	bulk := relational.NewBulkAppender(fact, nS)
 	frow := make([]relational.Value, len(fcols))
 	for i := 0; i < nS; i++ {
 		score := r.NormFloat64() * spec.Noise
@@ -224,8 +230,9 @@ func Generate(spec Spec, scale int, seed uint64) (*relational.StarSchema, error)
 		} else {
 			frow[0] = 0
 		}
-		fact.MustAppendRow(frow)
+		bulk.MustAppend(frow)
 	}
+	bulk.MustFlush()
 	dims := make([]*relational.Table, len(states))
 	for i, st := range states {
 		dims[i] = st.table

@@ -34,6 +34,10 @@ type Options struct {
 	Runs int
 	// Seed fixes all randomness.
 	Seed uint64
+	// Engine selects the physical storage the experiment Envs read through
+	// (core.EngineRow, the zero-copy default, or core.EngineColumnar).
+	// Results are engine-independent; runtime and memory layout are not.
+	Engine core.Engine
 	// Out receives the rendered tables (default discards).
 	Out io.Writer
 }
@@ -65,7 +69,7 @@ func envFor(name string, o Options) (*core.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewEnv(ss, o.Seed^0x5ca1ab1e)
+	return core.NewEnvEngine(ss, o.Seed^0x5ca1ab1e, o.Engine)
 }
 
 // hashName derives a stable per-dataset seed offset.

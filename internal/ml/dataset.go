@@ -168,6 +168,153 @@ func (d *Dataset) At(i, j int) relational.Value {
 	return d.v.x[r*d.v.baseW+c]
 }
 
+// ScanFeature is the batch read path: it fills dst with consecutive values
+// of feature j starting at example from, returning how many were written
+// (min(len(dst), NumExamples()-from); 0 past the end). When the backing
+// relation implements relational.ColumnScanner — every relation in the
+// repository does — the scan devirtualizes into the storage engine's own
+// column loop; otherwise it degrades to per-cell At. Safe for concurrent
+// use: it writes only into dst.
+func (d *Dataset) ScanFeature(dst []relational.Value, j, from int) int {
+	k := len(d.Features)
+	m := d.NumExamples() - from
+	if m > len(dst) {
+		m = len(dst)
+	}
+	if m <= 0 {
+		return 0
+	}
+	dst = dst[:m]
+	if d.v == nil {
+		at := from*k + j
+		for i := range dst {
+			dst[i] = d.X[at]
+			at += k
+		}
+		return m
+	}
+	c := j
+	if d.v.cols != nil {
+		c = d.v.cols[j]
+	}
+	if d.v.rows != nil {
+		rows := d.v.rows[from : from+m]
+		if d.v.rel != nil {
+			if g, ok := d.v.rel.(relational.ColumnGatherer); ok {
+				g.GatherColumn(dst, c, rows)
+				return m
+			}
+			for i, r := range rows {
+				dst[i] = d.v.rel.At(r, c)
+			}
+			return m
+		}
+		for i, r := range rows {
+			dst[i] = d.v.x[r*d.v.baseW+c]
+		}
+		return m
+	}
+	if d.v.rel != nil {
+		if cs, ok := d.v.rel.(relational.ColumnScanner); ok {
+			return cs.ScanColumn(c, from, dst)
+		}
+		for i := range dst {
+			dst[i] = d.v.rel.At(from+i, c)
+		}
+		return m
+	}
+	at := from*d.v.baseW + c
+	for i := range dst {
+		dst[i] = d.v.x[at]
+		at += d.v.baseW
+	}
+	return m
+}
+
+// GatherFeature fills dst[k] with At(rows[k], j) for every k — the batch
+// read for non-contiguous example subsets (a decision-tree node's example
+// set). len(dst) must be >= len(rows). Like ScanFeature it routes through
+// the backing relation's gather when available.
+func (d *Dataset) GatherFeature(dst []relational.Value, j int, rows []int) {
+	dst = dst[:len(rows)]
+	if d.v == nil {
+		k := len(d.Features)
+		for i, r := range rows {
+			dst[i] = d.X[r*k+j]
+		}
+		return
+	}
+	c := j
+	if d.v.cols != nil {
+		c = d.v.cols[j]
+	}
+	if d.v.rows != nil {
+		if d.v.rel != nil {
+			if g, ok := d.v.rel.(relational.ColumnViaGatherer); ok {
+				g.GatherColumnVia(dst, c, d.v.rows, rows)
+				return
+			}
+			for i, r := range rows {
+				dst[i] = d.v.rel.At(d.v.rows[r], c)
+			}
+			return
+		}
+		for i, r := range rows {
+			dst[i] = d.v.x[d.v.rows[r]*d.v.baseW+c]
+		}
+		return
+	}
+	if d.v.rel != nil {
+		if g, ok := d.v.rel.(relational.ColumnGatherer); ok {
+			g.GatherColumn(dst, c, rows)
+			return
+		}
+		for i, r := range rows {
+			dst[i] = d.v.rel.At(r, c)
+		}
+		return
+	}
+	for i, r := range rows {
+		dst[i] = d.v.x[r*d.v.baseW+c]
+	}
+}
+
+// ScanLabels fills dst with consecutive labels starting at example from and
+// returns the count written — the label companion of ScanFeature. Learners
+// on the batch path call it once per Fit and then index the materialized
+// label vector instead of paying a virtual Label call per example per pass.
+func (d *Dataset) ScanLabels(dst []int8, from int) int {
+	m := d.NumExamples() - from
+	if m > len(dst) {
+		m = len(dst)
+	}
+	if m <= 0 {
+		return 0
+	}
+	dst = dst[:m]
+	if d.v == nil {
+		copy(dst, d.Y[from:from+m])
+		return m
+	}
+	if d.v.rel != nil && d.v.rows == nil {
+		if cs, ok := d.v.rel.(relational.ColumnScanner); ok {
+			buf := make([]relational.Value, min(m, 4096))
+			for at := 0; at < m; {
+				got := cs.ScanColumn(d.v.target, from+at, buf[:min(len(buf), m-at)])
+				for i := 0; i < got; i++ {
+					dst[at+i] = int8(buf[i])
+				}
+				at += got
+			}
+			return m
+		}
+	}
+	for i := range dst {
+		dst[i] = d.Label(from + i)
+	}
+	return m
+}
+
 // Label returns example i's class in {0, 1}.
 func (d *Dataset) Label(i int) int8 {
 	if d.v == nil {

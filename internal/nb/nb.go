@@ -20,7 +20,17 @@ type Config struct {
 	// Alpha is the Laplace smoothing pseudo-count (default 1, the standard
 	// "add one" smoothing cited by the paper for handling sparse counts).
 	Alpha float64
+	// RowAtATime forces the historical example-at-a-time counting loop
+	// instead of the batched column-at-a-time path. The two are bit-identical
+	// (counting is order-independent integer arithmetic); the flag exists for
+	// A/B benchmarks and equivalence tests.
+	RowAtATime bool
 }
+
+// fitMorsel is the chunk size of one ScanFeature step on the batch path:
+// large enough to amortize the per-morsel interface call, small enough that
+// the value buffer (8 KiB) and the feature's count range stay cache-resident.
+const fitMorsel = 2048
 
 // NaiveBayes is a categorical Naive Bayes classifier over a (possibly
 // selected) subset of features.
@@ -49,6 +59,16 @@ func New(cfg Config) *NaiveBayes {
 func (nb *NaiveBayes) Name() string { return "NaiveBayes" }
 
 // Fit estimates priors and per-feature conditional tables.
+//
+// Counting runs column-at-a-time by default: the labels are scanned once
+// into a dense vector, then every feature's conditional table is filled by
+// morsel-sized ScanFeature batches, with features fanned out across
+// goroutines (each feature owns a disjoint slice of the count array, so the
+// reduction is race-free and deterministic — the counts are order-
+// independent integer sums). On a columnar storage engine each batch is a
+// sequential scan of one narrow column; on the row-major engine it is a
+// strided gather. Config.RowAtATime restores the historical per-example
+// loop; both paths produce bit-identical models.
 func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 	if train.NumExamples() == 0 {
 		return fmt.Errorf("nb: empty training set")
@@ -62,20 +82,38 @@ func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 	}
 
 	var classN [2]float64
-	for i := 0; i < n; i++ {
-		classN[train.Label(i)]++
+	counts := make([]float64, nb.enc.Dims*2)
+	if nb.cfg.RowAtATime {
+		for i := 0; i < n; i++ {
+			classN[train.Label(i)]++
+		}
+		for i := 0; i < n; i++ {
+			row := train.Row(i)
+			c := int(train.Label(i))
+			for j, v := range row {
+				counts[nb.enc.Index(j, v)*2+c]++
+			}
+		}
+	} else {
+		labels := make([]int8, n)
+		train.ScanLabels(labels, 0)
+		for _, y := range labels {
+			classN[y]++
+		}
+		ml.ParallelFor(d, func(j int) {
+			base := nb.enc.Offsets[j] * 2
+			buf := make([]relational.Value, min(fitMorsel, n))
+			for from := 0; from < n; {
+				m := train.ScanFeature(buf, j, from)
+				for k := 0; k < m; k++ {
+					counts[base+int(buf[k])*2+int(labels[from+k])]++
+				}
+				from += m
+			}
+		})
 	}
 	for c := 0; c < 2; c++ {
 		nb.logPrior[c] = logf((classN[c] + nb.cfg.Alpha) / (float64(n) + 2*nb.cfg.Alpha))
-	}
-
-	counts := make([]float64, nb.enc.Dims*2)
-	for i := 0; i < n; i++ {
-		row := train.Row(i)
-		c := int(train.Label(i))
-		for j, v := range row {
-			counts[nb.enc.Index(j, v)*2+c]++
-		}
 	}
 	nb.logLik = make([]float64, nb.enc.Dims*2)
 	for j := 0; j < d; j++ {

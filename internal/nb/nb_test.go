@@ -307,3 +307,60 @@ func TestFilterSelectKeepsTopK(t *testing.T) {
 		t.Fatal("empty validation must error")
 	}
 }
+
+// TestBatchFitMatchesRowAtATime pins the batch counting path to the
+// historical example-at-a-time loop: identical models (priors, conditional
+// tables) and identical predictions, on dense and on subset-view datasets.
+func TestBatchFitMatchesRowAtATime(t *testing.T) {
+	r := rng.New(17)
+	ds := &ml.Dataset{Features: feats(4, 7, 2, 300)}
+	n := 3000
+	for i := 0; i < n; i++ {
+		x := []relational.Value{
+			relational.Value(r.Intn(4)), relational.Value(r.Intn(7)),
+			relational.Value(r.Intn(2)), relational.Value(r.Intn(300)),
+		}
+		ds.X = append(ds.X, x...)
+		y := int8(0)
+		if int(x[0])+int(x[3])%3 > 2 {
+			y = 1
+		}
+		ds.Y = append(ds.Y, y)
+	}
+	sub := make([]int, 0, n/2)
+	for i := 0; i < n; i += 2 {
+		sub = append(sub, i)
+	}
+	for name, train := range map[string]*ml.Dataset{
+		"dense":         ds,
+		"subset-view":   ds.Subset(sub),
+		"feature-remap": ds.SelectFeatures([]int{3, 0, 1}),
+	} {
+		batch := New(Config{})
+		if err := batch.Fit(train); err != nil {
+			t.Fatalf("%s: batch fit: %v", name, err)
+		}
+		rows := New(Config{RowAtATime: true})
+		if err := rows.Fit(train); err != nil {
+			t.Fatalf("%s: row fit: %v", name, err)
+		}
+		if batch.logPrior != rows.logPrior {
+			t.Fatalf("%s: priors diverged: %v vs %v", name, batch.logPrior, rows.logPrior)
+		}
+		if len(batch.logLik) != len(rows.logLik) {
+			t.Fatalf("%s: logLik sizes diverged", name)
+		}
+		for k := range batch.logLik {
+			if batch.logLik[k] != rows.logLik[k] {
+				t.Fatalf("%s: logLik[%d] diverged: %v vs %v", name, k, batch.logLik[k], rows.logLik[k])
+			}
+		}
+		buf := make([]relational.Value, train.NumFeatures())
+		for i := 0; i < train.NumExamples(); i++ {
+			row := train.RowInto(buf, i)
+			if batch.Predict(row) != rows.Predict(row) {
+				t.Fatalf("%s: prediction %d diverged", name, i)
+			}
+		}
+	}
+}

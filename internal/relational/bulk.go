@@ -1,0 +1,74 @@
+package relational
+
+// BulkTable is the write surface shared by both storage engines' bulk
+// ingestion paths.
+type BulkTable interface {
+	Schema() *Schema
+	AppendRows(block []Value) error
+}
+
+// BulkAppender stages rows in a chunk-sized block and flushes them to a
+// table through AppendRows — the shared form of the generator/reader
+// ingestion loop: per-column domain validation without transiently holding
+// a second full copy of the table. Callers Append each row and must Flush
+// (or MustFlush) once at the end.
+type BulkAppender struct {
+	dst   BulkTable
+	width int
+	limit int // flush threshold in values (chunkRows * width)
+	block []Value
+}
+
+// bulkChunkRows is the default staging-chunk size: large enough that the
+// per-chunk validation pass amortizes, small enough (a few hundred KiB)
+// that the staging block stays cache-friendly and never rivals the table.
+const bulkChunkRows = 8192
+
+// NewBulkAppender wraps a destination table. capHintRows bounds the staging
+// block below the chunk size for small tables; pass the expected row count
+// (or 0 for the default chunk).
+func NewBulkAppender(dst BulkTable, capHintRows int) *BulkAppender {
+	w := dst.Schema().Width()
+	rows := bulkChunkRows
+	if capHintRows > 0 && capHintRows < rows {
+		rows = capHintRows
+	}
+	return &BulkAppender{dst: dst, width: w, limit: bulkChunkRows * w, block: make([]Value, 0, rows*w)}
+}
+
+// Append stages one row (len must equal the schema width) and flushes the
+// block when it reaches the chunk size.
+func (b *BulkAppender) Append(row []Value) error {
+	b.block = append(b.block, row...)
+	if len(b.block) >= b.limit {
+		return b.Flush()
+	}
+	return nil
+}
+
+// MustAppend is Append for generator code where rows are correct by
+// construction.
+func (b *BulkAppender) MustAppend(row []Value) {
+	if err := b.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Flush appends any staged rows to the destination.
+func (b *BulkAppender) Flush() error {
+	if len(b.block) == 0 {
+		return nil
+	}
+	if err := b.dst.AppendRows(b.block); err != nil {
+		return err
+	}
+	b.block = b.block[:0]
+	return nil
+}
+
+// MustFlush is Flush for generator code.
+func (b *BulkAppender) MustFlush() {
+	if err := b.Flush(); err != nil {
+		panic(err)
+	}
+}

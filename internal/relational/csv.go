@@ -68,6 +68,11 @@ func ReadCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
 		}
 	}
 	t := NewTable(name, schema, 64)
+	// Rows are staged through the bulk-ingestion path. Domain membership is
+	// checked at parse time (label lookups guarantee it for labeled columns),
+	// which pins the error to the offending line; the bulk append's
+	// per-column revalidation is cheap.
+	bulk := NewBulkAppender(t, 0)
 	row := make([]Value, schema.Width())
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -90,11 +95,18 @@ func ReadCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("relational: csv line %d column %q: %w", line, names[j], err)
 			}
+			if !schema.Cols[j].Domain.Contains(Value(iv)) {
+				return nil, fmt.Errorf("relational: csv line %d column %q: value %d outside domain of size %d",
+					line, names[j], iv, schema.Cols[j].Domain.Size)
+			}
 			row[j] = Value(iv)
 		}
-		if err := t.AppendRow(row); err != nil {
-			return nil, fmt.Errorf("relational: csv line %d: %w", line, err)
+		if err := bulk.Append(row); err != nil {
+			return nil, fmt.Errorf("relational: csv: %w", err)
 		}
+	}
+	if err := bulk.Flush(); err != nil {
+		return nil, fmt.Errorf("relational: csv: %w", err)
 	}
 	return t, nil
 }

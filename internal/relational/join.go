@@ -135,6 +135,68 @@ func (v *JoinView) CopyRow(dst []Value, row int) []Value {
 	return dst
 }
 
+// ScanColumn implements ColumnScanner. A fact column is a strided scan of
+// the fact table; a foreign column is a gather — read the FK column, then
+// index the dimension's storage — which is exactly the batched form of the
+// per-cell indirection At performs. Referential integrity was validated at
+// construction, so the inner loops run unchecked.
+func (v *JoinView) ScanColumn(col int, from int, dst []Value) int {
+	m := scanLen(v.fact.NumRows(), from, len(dst))
+	if col < v.factW {
+		return v.fact.ScanColumn(col, from, dst[:m])
+	}
+	p := &v.plans[v.colPlan[col-v.factW]]
+	dimCol := int(v.colDim[col-v.factW])
+	dim, dimW := p.dim, p.dim.width
+	fw := v.factW
+	at := from*fw + p.fkCol
+	for k := 0; k < m; k++ {
+		fk := v.fact.rows[at]
+		dst[k] = dim.rows[int(fk)*dimW+dimCol]
+		at += fw
+	}
+	return m
+}
+
+// GatherColumn implements ColumnGatherer with the same fact/foreign split
+// as ScanColumn, over arbitrary row indices.
+func (v *JoinView) GatherColumn(dst []Value, col int, rows []int) {
+	dst = dst[:len(rows)]
+	if col < v.factW {
+		v.fact.GatherColumn(dst, col, rows)
+		return
+	}
+	p := &v.plans[v.colPlan[col-v.factW]]
+	dimCol := int(v.colDim[col-v.factW])
+	dim, dimW := p.dim, p.dim.width
+	fw := v.factW
+	for k, r := range rows {
+		fk := v.fact.rows[r*fw+p.fkCol]
+		dst[k] = dim.rows[int(fk)*dimW+dimCol]
+	}
+}
+
+// GatherColumnVia implements ColumnViaGatherer — the fused double-remap
+// gather a SelectView stacked on this join uses.
+func (v *JoinView) GatherColumnVia(dst []Value, col int, idx []int, rows []int) {
+	dst = dst[:len(rows)]
+	if col < v.factW {
+		fw := v.factW
+		for k, r := range rows {
+			dst[k] = v.fact.rows[idx[r]*fw+col]
+		}
+		return
+	}
+	p := &v.plans[v.colPlan[col-v.factW]]
+	dimCol := int(v.colDim[col-v.factW])
+	dim, dimW := p.dim, p.dim.width
+	fw := v.factW
+	for k, r := range rows {
+		fk := v.fact.rows[idx[r]*fw+p.fkCol]
+		dst[k] = dim.rows[int(fk)*dimW+dimCol]
+	}
+}
+
 // Fact returns the underlying fact table.
 func (v *JoinView) Fact() *Table { return v.fact }
 

@@ -88,6 +88,45 @@ func (v *SelectView) CopyRow(dst []Value, row int) []Value {
 	return v.src.CopyRow(dst, v.idx[row])
 }
 
+// ScanColumn implements ColumnScanner: a contiguous slice of the view's
+// index remap becomes a gather against the source. The source's gather
+// devirtualizes the inner loop, so a split-over-join scan costs one
+// interface call per morsel, not per cell.
+func (v *SelectView) ScanColumn(col int, from int, dst []Value) int {
+	m := scanLen(len(v.idx), from, len(dst))
+	if m == 0 {
+		return 0
+	}
+	rows := v.idx[from : from+m]
+	if g, ok := v.src.(ColumnGatherer); ok {
+		g.GatherColumn(dst[:m], col, rows)
+		return m
+	}
+	for k, r := range rows {
+		dst[k] = v.src.At(r, col)
+	}
+	return m
+}
+
+// GatherColumn implements ColumnGatherer, composing the view's row remap
+// with the caller's. The physical tables and JoinView get a fused
+// double-indirection loop; other sources fall back to At.
+func (v *SelectView) GatherColumn(dst []Value, col int, rows []int) {
+	switch s := v.src.(type) {
+	case *Table:
+		s.GatherColumnVia(dst, col, v.idx, rows)
+	case *ColumnarTable:
+		s.GatherColumnVia(dst, col, v.idx, rows)
+	case *JoinView:
+		s.GatherColumnVia(dst, col, v.idx, rows)
+	default:
+		dst = dst[:len(rows)]
+		for k, r := range rows {
+			dst[k] = v.src.At(v.idx[r], col)
+		}
+	}
+}
+
 // ProjectView is a lazy column-subset view (relational π without
 // materialization): column j of the view is column cols[j] of the source.
 type ProjectView struct {
@@ -130,4 +169,30 @@ func (v *ProjectView) CopyRow(dst []Value, row int) []Value {
 		dst[j] = v.src.At(row, c)
 	}
 	return dst
+}
+
+// ScanColumn implements ColumnScanner: a column remap, then forward.
+func (v *ProjectView) ScanColumn(col int, from int, dst []Value) int {
+	if cs, ok := v.src.(ColumnScanner); ok {
+		return cs.ScanColumn(v.cols[col], from, dst)
+	}
+	m := scanLen(v.src.NumRows(), from, len(dst))
+	c := v.cols[col]
+	for k := 0; k < m; k++ {
+		dst[k] = v.src.At(from+k, c)
+	}
+	return m
+}
+
+// GatherColumn implements ColumnGatherer.
+func (v *ProjectView) GatherColumn(dst []Value, col int, rows []int) {
+	if g, ok := v.src.(ColumnGatherer); ok {
+		g.GatherColumn(dst, v.cols[col], rows)
+		return
+	}
+	dst = dst[:len(rows)]
+	c := v.cols[col]
+	for k, r := range rows {
+		dst[k] = v.src.At(r, c)
+	}
 }

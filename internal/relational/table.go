@@ -60,6 +60,60 @@ func (t *Table) MustAppendRow(row []Value) {
 	}
 }
 
+// Reserve grows the table's capacity to hold n more rows without
+// reallocation.
+func (t *Table) Reserve(n int) {
+	need := len(t.rows) + n*t.width
+	if cap(t.rows) >= need {
+		return
+	}
+	grown := make([]Value, len(t.rows), need)
+	copy(grown, t.rows)
+	t.rows = grown
+}
+
+// AppendRows bulk-appends a row-major block (len(block) must be a multiple
+// of the table width). It is the ingestion fast path: domain validation is
+// hoisted out of the per-value loop into one strided pass per column, so
+// the inner check is a bound compare instead of a schema/domain pointer
+// chase per cell. On error nothing is appended.
+func (t *Table) AppendRows(block []Value) error {
+	if _, err := validateBlock(t.schema, t.Name, block); err != nil {
+		return err
+	}
+	t.rows = append(t.rows, block...)
+	return nil
+}
+
+// validateBlock is the shared bulk-ingestion check of both storage engines:
+// the block must be a whole number of rows, and each column is verified
+// against its domain bound in one strided pass. Returns the row count.
+func validateBlock(schema *Schema, name string, block []Value) (int, error) {
+	w := schema.Width()
+	if w == 0 || len(block)%w != 0 {
+		return 0, fmt.Errorf("relational: table %q: block of %d values is not a multiple of width %d", name, len(block), w)
+	}
+	nRows := len(block) / w
+	for j := 0; j < w; j++ {
+		size := Value(schema.Cols[j].Domain.Size)
+		for k, at := 0, j; k < nRows; k, at = k+1, at+w {
+			if v := block[at]; v < 0 || v >= size {
+				return 0, fmt.Errorf("relational: table %q column %q row %d: value %d outside domain of size %d",
+					name, schema.Cols[j].Name, k, v, size)
+			}
+		}
+	}
+	return nRows, nil
+}
+
+// MustAppendRows is AppendRows for generator code where rows are correct by
+// construction.
+func (t *Table) MustAppendRows(block []Value) {
+	if err := t.AppendRows(block); err != nil {
+		panic(err)
+	}
+}
+
 // Row returns a read-only view of row i. The returned slice aliases the
 // table's storage; callers must not modify it.
 func (t *Table) Row(i int) []Value {
@@ -86,6 +140,40 @@ func (t *Table) Set(row, col int, v Value) error {
 	}
 	t.rows[row*t.width+col] = v
 	return nil
+}
+
+// ScanColumn implements ColumnScanner: a strided walk over the row-major
+// storage. The columnar engine does strictly better here (sequential narrow
+// reads); this implementation exists so the batch training path works
+// against either physical layout.
+func (t *Table) ScanColumn(col int, from int, dst []Value) int {
+	m := scanLen(t.NumRows(), from, len(dst))
+	w := t.width
+	at := from*w + col
+	for k := 0; k < m; k++ {
+		dst[k] = t.rows[at]
+		at += w
+	}
+	return m
+}
+
+// GatherColumn implements ColumnGatherer.
+func (t *Table) GatherColumn(dst []Value, col int, rows []int) {
+	w := t.width
+	dst = dst[:len(rows)]
+	for k, r := range rows {
+		dst[k] = t.rows[r*w+col]
+	}
+}
+
+// GatherColumnVia implements ColumnViaGatherer — the fused double-remap
+// gather a SelectView stacked on this table uses.
+func (t *Table) GatherColumnVia(dst []Value, col int, idx []int, rows []int) {
+	w := t.width
+	dst = dst[:len(rows)]
+	for k, r := range rows {
+		dst[k] = t.rows[idx[r]*w+col]
+	}
 }
 
 // ColumnValues copies column col into a fresh slice.

@@ -160,13 +160,12 @@ func (s *OneXr) Dimension() *relational.Table {
 		cols = append(cols, relational.Column{Name: fmt.Sprintf("XR%d", j), Kind: relational.KindFeature, Domain: binDom})
 	}
 	dim := relational.NewTable("R", relational.MustSchema(cols...), s.NR)
-	row := make([]relational.Value, len(cols))
+	block := make([]relational.Value, 0, s.NR*len(cols))
 	for k := 0; k < s.NR; k++ {
-		row[0] = relational.Value(k)
-		row[1] = s.xr[k]
-		copy(row[2:], s.restR[k])
-		dim.MustAppendRow(row)
+		block = append(block, relational.Value(k), s.xr[k])
+		block = append(block, s.restR[k]...)
 	}
+	dim.MustAppendRows(block)
 	return dim
 }
 
@@ -196,21 +195,24 @@ func (s *OneXr) buildStar(r *rng.RNG) (*relational.StarSchema, error) {
 	fcols = append(fcols, relational.Column{Name: "FK", Kind: relational.KindForeignKey, Domain: keyDom, Refs: "R"})
 	total := s.NS + 2*(s.NS/4)
 	fact := relational.NewTable("S", relational.MustSchema(fcols...), total)
-	frow := make([]relational.Value, len(fcols))
+	w := len(fcols)
+	bulk := relational.NewBulkAppender(fact, total)
+	frow := make([]relational.Value, w)
 	nextFK := s.fkSampler(r)
 	for i := 0; i < total; i++ {
 		for j := 0; j < s.DS; j++ {
 			frow[1+j] = relational.Value(r.Intn(2))
 		}
 		fk := nextFK()
-		frow[len(fcols)-1] = relational.Value(fk)
+		frow[w-1] = relational.Value(fk)
 		y := s.bayes(fk)
 		if r.Bernoulli(bayesFlip(s.P)) {
 			y = 1 - y
 		}
 		frow[0] = relational.Value(y)
-		fact.MustAppendRow(frow)
+		bulk.MustAppend(frow)
 	}
+	bulk.MustFlush()
 	return relational.NewStarSchema(fact, dim)
 }
 

@@ -102,12 +102,14 @@ func (s *XSXR) Sample(r *rng.RNG) (*TrialData, error) {
 		cols = append(cols, relational.Column{Name: fmt.Sprintf("XR%d", j), Kind: relational.KindFeature, Domain: binDom})
 	}
 	dim := relational.NewTable("R", relational.MustSchema(cols...), s.NR)
-	row := make([]relational.Value, len(cols))
+	dw := len(cols)
+	dblock := make([]relational.Value, s.NR*dw)
 	for k := 0; k < s.NR; k++ {
+		row := dblock[k*dw : (k+1)*dw]
 		row[0] = relational.Value(k)
 		unpackBits(int(s.xrOf[k]), row[1:1+s.DR])
-		dim.MustAppendRow(row)
 	}
+	dim.MustAppendRows(dblock)
 
 	fcols := []relational.Column{{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)}}
 	for j := 0; j < s.DS; j++ {
@@ -116,7 +118,9 @@ func (s *XSXR) Sample(r *rng.RNG) (*TrialData, error) {
 	fcols = append(fcols, relational.Column{Name: "FK", Kind: relational.KindForeignKey, Domain: keyDom, Refs: "R"})
 	total := s.NS + 2*(s.NS/4)
 	fact := relational.NewTable("S", relational.MustSchema(fcols...), total)
-	frow := make([]relational.Value, len(fcols))
+	fw := len(fcols)
+	bulk := relational.NewBulkAppender(fact, total)
+	frow := make([]relational.Value, fw)
 	mask := (1 << s.DR) - 1
 	// bayes per fact row is deterministic: Y of the sampled entry.
 	bayesByRow := make([]int8, 0, total)
@@ -126,11 +130,12 @@ func (s *XSXR) Sample(r *rng.RNG) (*TrialData, error) {
 		xr := e & mask
 		unpackBits(xs, frow[1:1+s.DS])
 		rids := s.ridsByXR[xr]
-		frow[len(fcols)-1] = relational.Value(rids[r.Intn(len(rids))])
+		frow[fw-1] = relational.Value(rids[r.Intn(len(rids))])
 		frow[0] = relational.Value(s.yOf[e])
 		bayesByRow = append(bayesByRow, s.yOf[e])
-		fact.MustAppendRow(frow)
+		bulk.MustAppend(frow)
 	}
+	bulk.MustFlush()
 	ss, err := relational.NewStarSchema(fact, dim)
 	if err != nil {
 		return nil, err

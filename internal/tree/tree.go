@@ -87,6 +87,11 @@ type Config struct {
 	MaxDepth  int // 0 means unlimited
 	Unseen    UnseenPolicy
 	Smoother  Smoother
+	// RowAtATime forces the historical cell-at-a-time split search (per-node
+	// map tallies via Dataset.At) instead of the batched column-scan path.
+	// The two are bit-identical; the flag exists for A/B benchmarks and
+	// equivalence tests.
+	RowAtATime bool
 }
 
 // DefaultConfig mirrors rpart defaults closely enough for tests.
@@ -115,11 +120,67 @@ type Tree struct {
 	cfg       Config
 	nodes     []node
 	nFeatures int
+	// batch holds the columnar split-search scratch while Fit runs; nil
+	// afterwards (and always nil under Config.RowAtATime).
+	batch *batchState
 	// collapseSet/collapseOrder track internal nodes temporarily treated as
 	// leaves during cost-complexity pruning; truncateCollapses bakes the
 	// chosen prefix into the node array and clears both.
 	collapseSet   map[int]bool
 	collapseOrder []int
+}
+
+// Batch split-search tuning. A node's examples are processed in morsel-sized
+// gather+tally steps; nodes at least parallelSplitThreshold examples wide
+// fan their morsel spans out across goroutines (bounded by
+// ml.MaxParallelism; ml.ParallelFor additionally degrades nested fan-outs to
+// sequential, so a Fit inside a grid-search worker never stacks pools). The
+// tallies are integer sums, so the reduction is deterministic regardless of
+// scheduling; smaller nodes stay sequential to keep goroutine overhead away
+// from the deep, narrow part of the tree.
+const (
+	batchMorsel            = 4096
+	parallelSplitThreshold = 4096
+)
+
+// batchState is the per-Fit scratch of the columnar split search. All
+// buffers are allocated once per Fit and reused at every (node, feature)
+// pair; per-value state (cnt, seen) is cleared via the distinct-value list,
+// so a small node never pays O(domain) for a large-cardinality feature.
+type batchState struct {
+	labels   []int8             // per-example labels, scanned once per Fit
+	nodeY    []int8             // node-local labels aligned to the node's idx
+	vals     []relational.Value // gathered feature column, node-local
+	cnt      [][]int32          // per-span tallies: cnt[s][2v] = count, cnt[s][2v+1] = positives
+	seen     []bool             // distinct-value marks, len = max cardinality
+	distinct []relational.Value // distinct values of the current column
+	tallies  []vc               // merged per-value tallies handed to evalFeature
+}
+
+func newBatchState(train *ml.Dataset) *batchState {
+	n := train.NumExamples()
+	maxCard := 2
+	for _, f := range train.Features {
+		if f.Cardinality > maxCard {
+			maxCard = f.Cardinality
+		}
+	}
+	spans := ml.Parallelism((n + batchMorsel - 1) / batchMorsel)
+	if spans < 1 {
+		spans = 1
+	}
+	bs := &batchState{
+		labels: make([]int8, n),
+		nodeY:  make([]int8, n),
+		vals:   make([]relational.Value, n),
+		cnt:    make([][]int32, spans),
+		seen:   make([]bool, maxCard),
+	}
+	train.ScanLabels(bs.labels, 0)
+	for s := range bs.cnt {
+		bs.cnt[s] = make([]int32, 2*maxCard)
+	}
+	return bs
 }
 
 // New returns an unfitted tree with the given configuration.
@@ -169,26 +230,43 @@ type split struct {
 
 // Fit grows the tree on train. It never returns an error for well-formed
 // datasets; an empty dataset is rejected.
+//
+// The split search runs on the batched column path by default (see
+// bestSplitBatch); Config.RowAtATime restores the historical per-cell
+// search. Both produce bit-identical trees — the batch path changes the
+// order work is done, not the arithmetic.
 func (t *Tree) Fit(train *ml.Dataset) error {
 	if train.NumExamples() == 0 {
 		return fmt.Errorf("tree: empty training set")
 	}
 	t.nFeatures = train.NumFeatures()
 	t.nodes = t.nodes[:0]
+	if !t.cfg.RowAtATime {
+		t.batch = newBatchState(train)
+	}
 	idx := make([]int, train.NumExamples())
 	for i := range idx {
 		idx[i] = i
 	}
-	rootImpurity := t.impurity(countPos(train, idx), len(idx))
+	rootImpurity := t.impurity(t.countPos(train, idx), len(idx))
 	if rootImpurity == 0 {
 		rootImpurity = 1 // degenerate pure root; cp threshold is irrelevant
 	}
 	t.grow(train, idx, rootImpurity, 0)
+	t.batch = nil
 	return nil
 }
 
-func countPos(ds *ml.Dataset, idx []int) int {
+// countPos counts positive labels in the node's example set, reading the
+// label vector cached at Fit time when the batch path is active.
+func (t *Tree) countPos(ds *ml.Dataset, idx []int) int {
 	pos := 0
+	if t.batch != nil {
+		for _, i := range idx {
+			pos += int(t.batch.labels[i])
+		}
+		return pos
+	}
 	for _, i := range idx {
 		if ds.Label(i) == 1 {
 			pos++
@@ -199,7 +277,7 @@ func countPos(ds *ml.Dataset, idx []int) int {
 
 // grow recursively builds the subtree over idx and returns its node index.
 func (t *Tree) grow(ds *ml.Dataset, idx []int, rootImpurity float64, depth int) int {
-	pos := countPos(ds, idx)
+	pos := t.countPos(ds, idx)
 	me := len(t.nodes)
 	pred := int8(0)
 	if 2*pos >= len(idx) {
@@ -232,11 +310,24 @@ func (t *Tree) grow(ds *ml.Dataset, idx []int, rootImpurity float64, depth int) 
 
 	left := make([]int, 0, best.nLeft)
 	right := make([]int, 0, len(idx)-best.nLeft)
-	for _, i := range idx {
-		if best.goLeft[ds.At(i, best.feature)] {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
+	if t.batch != nil {
+		// Batch path: one gather of the winning feature column, then route.
+		vals := t.batch.vals[:len(idx)]
+		ds.GatherFeature(vals, best.feature, idx)
+		for k, i := range idx {
+			if best.goLeft[vals[k]] {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+	} else {
+		for _, i := range idx {
+			if best.goLeft[ds.At(i, best.feature)] {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
 		}
 	}
 	if len(left) == 0 || len(right) == 0 {
@@ -252,11 +343,32 @@ func (t *Tree) grow(ds *ml.Dataset, idx []int, rootImpurity float64, depth int) 
 	return me
 }
 
-// bestSplit searches all features for the best binary subset split.
+// vc is one present value's tally at a node: occurrence count, positive
+// count, and the positive rate the optimal-partition sort keys on.
+type vc struct {
+	v    relational.Value
+	n    int
+	pos  int
+	rate float64
+}
+
+// bestSplit searches all features for the best binary subset split,
+// dispatching to the batched column-scan search or the historical per-cell
+// search. Both tally identical (value → count, positives) statistics and
+// share evalFeature, so the chosen split is bit-identical either way.
 func (t *Tree) bestSplit(ds *ml.Dataset, idx []int) *split {
+	if t.batch != nil {
+		return t.bestSplitBatch(ds, idx)
+	}
+	return t.bestSplitRows(ds, idx)
+}
+
+// bestSplitRows is the row-at-a-time search: per feature, a map tally over
+// the node's examples via per-cell At.
+func (t *Tree) bestSplitRows(ds *ml.Dataset, idx []int) *split {
 	var best *split
 	nodeN := len(idx)
-	nodePos := countPos(ds, idx)
+	nodePos := t.countPos(ds, idx)
 	nodeImp := t.impurity(nodePos, nodeN)
 	totalN := float64(ds.NumExamples())
 
@@ -276,63 +388,144 @@ func (t *Tree) bestSplit(ds *ml.Dataset, idx []int) *split {
 		if len(cnt) < 2 {
 			continue
 		}
-		// Sort present values by P(Y=1 | v); scan boundary partitions.
-		type vc struct {
-			v    relational.Value
-			n    int
-			pos  int
-			rate float64
-		}
 		vals := make([]vc, 0, len(cnt))
 		for v, c := range cnt {
 			vals = append(vals, vc{v: v, n: c[0], pos: c[1], rate: float64(c[1]) / float64(c[0])})
 		}
-		sort.Slice(vals, func(a, b int) bool {
-			if vals[a].rate != vals[b].rate {
-				return vals[a].rate < vals[b].rate
-			}
-			return vals[a].v < vals[b].v
-		})
-		leftN, leftPos := 0, 0
-		for cut := 0; cut < len(vals)-1; cut++ {
-			leftN += vals[cut].n
-			leftPos += vals[cut].pos
-			rightN := nodeN - leftN
-			rightPos := nodePos - leftPos
-			wl := float64(leftN) / float64(nodeN)
-			wr := float64(rightN) / float64(nodeN)
-			childImp := wl*t.impurity(leftPos, leftN) + wr*t.impurity(rightPos, rightN)
-			decrease := nodeImp - childImp
-			score := decrease
-			if t.cfg.Criterion == GainRatio {
-				// Normalize by the split's intrinsic information.
-				ii := binaryEntropy(wl)
-				if ii < 1e-9 {
-					continue
+		best = t.evalFeature(j, vals, nodeN, nodePos, nodeImp, totalN, best)
+	}
+	return best
+}
+
+// bestSplitBatch is the columnar search. Per candidate feature it gathers
+// the feature's column for the node's examples in morsel-sized chunks —
+// fanned out across goroutines for wide nodes — tallies into dense
+// per-span count arrays, and merges the spans over the distinct-value list.
+// The per-(node, feature) cost is O(|node| + distinct), independent of the
+// feature's domain size, and every inner loop is a devirtualized array walk.
+func (t *Tree) bestSplitBatch(ds *ml.Dataset, idx []int) *split {
+	bs := t.batch
+	nodeN := len(idx)
+	nodeY := bs.nodeY[:nodeN]
+	nodePos := 0
+	for k, i := range idx {
+		y := bs.labels[i]
+		nodeY[k] = y
+		nodePos += int(y)
+	}
+	nodeImp := t.impurity(nodePos, nodeN)
+	totalN := float64(ds.NumExamples())
+
+	spans := 1
+	if nodeN >= parallelSplitThreshold {
+		spans = ml.Parallelism((nodeN + batchMorsel - 1) / batchMorsel)
+		if spans > len(bs.cnt) {
+			spans = len(bs.cnt)
+		}
+		if spans < 1 {
+			spans = 1
+		}
+	}
+
+	var best *split
+	vals := bs.vals[:nodeN]
+	for j := 0; j < ds.NumFeatures(); j++ {
+		ml.ParallelFor(spans, func(s int) {
+			lo := nodeN * s / spans
+			hi := nodeN * (s + 1) / spans
+			cnt := bs.cnt[s]
+			for m := lo; m < hi; m += batchMorsel {
+				mh := min(m+batchMorsel, hi)
+				ds.GatherFeature(vals[m:mh], j, idx[m:mh])
+				for k := m; k < mh; k++ {
+					v := vals[k]
+					cnt[2*v]++
+					cnt[2*v+1] += int32(nodeY[k])
 				}
-				score = decrease / ii
 			}
-			if score < 0 {
+		})
+		// Enumerate distinct values (first-occurrence order — the sort in
+		// evalFeature canonicalizes it), merge the span tallies, and clear
+		// the touched slots for the next feature.
+		distinct := bs.distinct[:0]
+		for _, v := range vals {
+			if !bs.seen[v] {
+				bs.seen[v] = true
+				distinct = append(distinct, v)
+			}
+		}
+		tallies := bs.tallies[:0]
+		for _, v := range distinct {
+			var cn, cp int32
+			for s := 0; s < spans; s++ {
+				cn += bs.cnt[s][2*v]
+				cp += bs.cnt[s][2*v+1]
+				bs.cnt[s][2*v], bs.cnt[s][2*v+1] = 0, 0
+			}
+			bs.seen[v] = false
+			tallies = append(tallies, vc{v: v, n: int(cn), pos: int(cp), rate: float64(cp) / float64(cn)})
+		}
+		bs.distinct = distinct[:0]
+		bs.tallies = tallies[:0]
+		if len(tallies) < 2 {
+			continue
+		}
+		best = t.evalFeature(j, tallies, nodeN, nodePos, nodeImp, totalN, best)
+	}
+	return best
+}
+
+// evalFeature sorts one feature's value tallies by P(Y=1 | v) and scans the
+// |D|−1 boundary partitions (Breiman's optimal binary subset split for a
+// binary target), returning the better of the incoming best and this
+// feature's best candidate. Shared by both search paths so their float
+// arithmetic — and therefore the fitted tree — is identical.
+func (t *Tree) evalFeature(j int, vals []vc, nodeN, nodePos int, nodeImp, totalN float64, best *split) *split {
+	sort.Slice(vals, func(a, b int) bool {
+		if vals[a].rate != vals[b].rate {
+			return vals[a].rate < vals[b].rate
+		}
+		return vals[a].v < vals[b].v
+	})
+	leftN, leftPos := 0, 0
+	for cut := 0; cut < len(vals)-1; cut++ {
+		leftN += vals[cut].n
+		leftPos += vals[cut].pos
+		rightN := nodeN - leftN
+		rightPos := nodePos - leftPos
+		wl := float64(leftN) / float64(nodeN)
+		wr := float64(rightN) / float64(nodeN)
+		childImp := wl*t.impurity(leftPos, leftN) + wr*t.impurity(rightPos, rightN)
+		decrease := nodeImp - childImp
+		score := decrease
+		if t.cfg.Criterion == GainRatio {
+			// Normalize by the split's intrinsic information.
+			ii := binaryEntropy(wl)
+			if ii < 1e-9 {
 				continue
 			}
-			// Zero-gain splits are allowed (a fully grown cp=0 tree keeps
-			// partitioning until purity, which is how CART learns XOR-like
-			// interactions whose first split has no marginal gain); the cp
-			// rule prunes them whenever cp > 0.
-			// Tree-level weighted gain used for the cp test. For gain
-			// ratio the selection uses the ratio but the cp test still
-			// uses raw decrease, matching CORElearn's pruning semantics.
-			gain := decrease * float64(nodeN) / totalN
-			if best == nil || score > best.score {
-				goLeft := make(map[relational.Value]bool, len(vals))
-				for k := 0; k <= cut; k++ {
-					goLeft[vals[k].v] = true
-				}
-				for k := cut + 1; k < len(vals); k++ {
-					goLeft[vals[k].v] = false
-				}
-				best = &split{feature: j, goLeft: goLeft, gain: gain, score: score, nLeft: leftN}
+			score = decrease / ii
+		}
+		if score < 0 {
+			continue
+		}
+		// Zero-gain splits are allowed (a fully grown cp=0 tree keeps
+		// partitioning until purity, which is how CART learns XOR-like
+		// interactions whose first split has no marginal gain); the cp
+		// rule prunes them whenever cp > 0.
+		// Tree-level weighted gain used for the cp test. For gain
+		// ratio the selection uses the ratio but the cp test still
+		// uses raw decrease, matching CORElearn's pruning semantics.
+		gain := decrease * float64(nodeN) / totalN
+		if best == nil || score > best.score {
+			goLeft := make(map[relational.Value]bool, len(vals))
+			for k := 0; k <= cut; k++ {
+				goLeft[vals[k].v] = true
 			}
+			for k := cut + 1; k < len(vals); k++ {
+				goLeft[vals[k].v] = false
+			}
+			best = &split{feature: j, goLeft: goLeft, gain: gain, score: score, nLeft: leftN}
 		}
 	}
 	return best
@@ -438,11 +631,4 @@ func (t *Tree) FeatureUsage() map[int]int {
 	}
 	rec(0)
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

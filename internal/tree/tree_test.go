@@ -450,3 +450,169 @@ func TestDumpDOT(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSplitMatchesRowAtATime pins the columnar split search to the
+// historical per-cell search: bit-identical trees on datasets large enough
+// to cross parallelSplitThreshold (so the morsel fan-out and its
+// deterministic reduction are exercised), over a large-cardinality FK-style
+// feature and small categoricals, for all three criteria.
+func TestBatchSplitMatchesRowAtATime(t *testing.T) {
+	r := rng.New(23)
+	n := 3 * parallelSplitThreshold
+	ds := &ml.Dataset{Features: []ml.Feature{
+		{Name: "FK", Cardinality: 900, IsFK: true},
+		{Name: "a", Cardinality: 4},
+		{Name: "b", Cardinality: 2},
+	}}
+	for i := 0; i < n; i++ {
+		fk := relational.Value(r.Intn(900))
+		a := relational.Value(r.Intn(4))
+		b := relational.Value(r.Intn(2))
+		ds.X = append(ds.X, fk, a, b)
+		y := int8((int(fk)/30 + int(a)) % 2)
+		if r.Intn(10) == 0 {
+			y = 1 - y
+		}
+		ds.Y = append(ds.Y, y)
+	}
+	for _, crit := range []Criterion{Gini, InfoGain, GainRatio} {
+		cfg := Config{Criterion: crit, MinSplit: 20, CP: 1e-4}
+		batch := New(cfg)
+		if err := batch.Fit(ds); err != nil {
+			t.Fatalf("%v: batch fit: %v", crit, err)
+		}
+		cfg.RowAtATime = true
+		rows := New(cfg)
+		if err := rows.Fit(ds); err != nil {
+			t.Fatalf("%v: row fit: %v", crit, err)
+		}
+		if bn, rn := len(batch.nodes), len(rows.nodes); bn != rn {
+			t.Fatalf("%v: node counts diverged: %d vs %d", crit, bn, rn)
+		}
+		for k := range batch.nodes {
+			bnd, rnd := &batch.nodes[k], &rows.nodes[k]
+			if bnd.feature != rnd.feature || bnd.leftChild != rnd.leftChild ||
+				bnd.rightChild != rnd.rightChild || bnd.prediction != rnd.prediction ||
+				bnd.n != rnd.n || bnd.nLeft != rnd.nLeft {
+				t.Fatalf("%v: node %d diverged: %+v vs %+v", crit, k, bnd, rnd)
+			}
+			if len(bnd.goLeft) != len(rnd.goLeft) {
+				t.Fatalf("%v: node %d goLeft sizes diverged", crit, k)
+			}
+			for v, l := range bnd.goLeft {
+				if rl, ok := rnd.goLeft[v]; !ok || rl != l {
+					t.Fatalf("%v: node %d goLeft[%d] diverged", crit, k, v)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSplitOnRelationViews runs the batch search through the full view
+// stack — a dataset over a split-style SelectView over a JoinView — and
+// checks the fitted tree matches the row-at-a-time search
+// prediction-for-prediction and in shape.
+func TestBatchSplitOnRelationViews(t *testing.T) {
+	r := rng.New(41)
+	nR := 40
+	keyDom := relational.NewDomain("RID", nR)
+	dim := relational.NewTable("R", relational.MustSchema(
+		relational.Column{Name: "RID", Kind: relational.KindPrimaryKey, Domain: keyDom},
+		relational.Column{Name: "xr", Kind: relational.KindFeature, Domain: relational.NewDomain("xr", 4)},
+	), nR)
+	for i := 0; i < nR; i++ {
+		dim.MustAppendRow([]relational.Value{relational.Value(i), relational.Value(r.Intn(4))})
+	}
+	nS := 800
+	fact := relational.NewTable("S", relational.MustSchema(
+		relational.Column{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)},
+		relational.Column{Name: "xs", Kind: relational.KindFeature, Domain: relational.NewDomain("xs", 3)},
+		relational.Column{Name: "FK", Kind: relational.KindForeignKey, Domain: keyDom, Refs: "R"},
+	), nS)
+	for i := 0; i < nS; i++ {
+		fk := r.Intn(nR)
+		y := int8(fk % 2)
+		if r.Intn(8) == 0 {
+			y = 1 - y
+		}
+		fact.MustAppendRow([]relational.Value{relational.Value(y), relational.Value(r.Intn(3)), relational.Value(fk)})
+	}
+	ss, err := relational.NewStarSchema(fact, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv, err := relational.NewJoinView(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int, 500)
+	for i := range idx {
+		idx[i] = r.Intn(nS)
+	}
+	sel, err := relational.NewSelectView(jv, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := ml.FromRelation(sel, []int{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Criterion: Gini, MinSplit: 5, CP: 1e-4}
+	batch := New(cfg)
+	if err := batch.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	cfg.RowAtATime = true
+	rows := New(cfg)
+	if err := rows.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]relational.Value, train.NumFeatures())
+	for i := 0; i < train.NumExamples(); i++ {
+		row := train.RowInto(buf, i)
+		if batch.Predict(row) != rows.Predict(row) {
+			t.Fatalf("prediction %d diverged", i)
+		}
+	}
+	if batch.NumLeaves() != rows.NumLeaves() || batch.Depth() != rows.Depth() {
+		t.Fatalf("tree shapes diverged: (%d,%d) vs (%d,%d)",
+			batch.NumLeaves(), batch.Depth(), rows.NumLeaves(), rows.Depth())
+	}
+}
+
+// TestBatchSplitSequentialForced pins the batch path under MaxParallelism=1:
+// forcing sequential morsel processing must still match the row-at-a-time
+// search.
+func TestBatchSplitSequentialForced(t *testing.T) {
+	// MaxParallelism=1 must keep the batch path deterministic and identical.
+	old := ml.MaxParallelism
+	ml.MaxParallelism = 1
+	defer func() { ml.MaxParallelism = old }()
+
+	r := rng.New(31)
+	n := parallelSplitThreshold + 100
+	ds := &ml.Dataset{Features: feats(50, 3)}
+	for i := 0; i < n; i++ {
+		a := relational.Value(r.Intn(50))
+		b := relational.Value(r.Intn(3))
+		ds.X = append(ds.X, a, b)
+		ds.Y = append(ds.Y, int8(int(a)%2))
+	}
+	cfg := Config{Criterion: Gini, MinSplit: 10, CP: 1e-3}
+	batch := New(cfg)
+	if err := batch.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	cfg.RowAtATime = true
+	rows := New(cfg)
+	if err := rows.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]relational.Value, 2)
+	for i := 0; i < n; i++ {
+		row := ds.RowInto(buf, i)
+		if batch.Predict(row) != rows.Predict(row) {
+			t.Fatalf("prediction %d diverged", i)
+		}
+	}
+}
