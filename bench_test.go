@@ -22,8 +22,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/nb"
 	"repro/internal/relational"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/svm"
 	"repro/internal/tree"
@@ -443,6 +445,79 @@ func BenchmarkTreeSplitRowAtATime(b *testing.B) { benchTreeFit(b, false) }
 
 // BenchmarkTreeSplitColumnar is the batched column-scan split search.
 func BenchmarkTreeSplitColumnar(b *testing.B) { benchTreeFit(b, true) }
+
+// benchServeEngine trains Naive Bayes on the Movies JoinAll view, binds a
+// serving engine, and precomputes a request stream from the fact table —
+// the shared setup of the serving-path pair.
+func benchServeEngine(b *testing.B) (*serve.Engine, [][]relational.Value) {
+	o := benchOptions()
+	spec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, o.Scale, o.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jv, err := relational.NewJoinView(ss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targetCol := jv.Schema().ColumnsOfKind(relational.KindTarget)[0]
+	train, err := ml.ViewDataset(jv, targetCol, ml.JoinAll, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := nb.New(nb.Config{})
+	if err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	artifact, err := model.New(m, train.Features, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(artifact, ss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ss.Fact.NumRows()
+	if n > 1024 {
+		n = 1024
+	}
+	reqs := make([][]relational.Value, n)
+	for i := range reqs {
+		reqs[i] = engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(i))
+	}
+	return engine, reqs
+}
+
+// BenchmarkServeFactorized measures one inference request on the factorized
+// path: per-dimension partial-score lookups keyed by FK, no join, no
+// per-request allocation.
+func BenchmarkServeFactorized(b *testing.B) {
+	engine, reqs := benchServeEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PredictFactorized(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeJoined measures the same request stream with the join paid
+// per request: gather the dimension rows, assemble the joined feature
+// vector, score it.
+func BenchmarkServeJoined(b *testing.B) {
+	engine, reqs := benchServeEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PredictJoined(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Ablation benches for the design decisions DESIGN.md calls out. ---
 

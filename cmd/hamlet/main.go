@@ -9,6 +9,14 @@
 //	hamlet -figure 1
 //	hamlet -all
 //
+// It is also the training half of the serving pipeline: -train tunes one
+// classifier spec on a generated dataset's JoinAll view and persists the
+// fitted model (internal/model artifact) for cmd/hamletd to serve, and
+// -eval loads an artifact back and reports its holdout test accuracy:
+//
+//	hamlet -train -dataset Movies -spec "NaiveBayes(BFS)" -model m.bin [-scale 64 -seed 1]
+//	hamlet -eval -model m.bin [-dataset Movies -scale 64 -seed 1]
+//
 // Scale divides every dataset cardinality so the whole study runs on one
 // core; tuple ratios — the quantity the paper's findings depend on — are
 // preserved at every scale.
@@ -18,9 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/model"
 	"repro/internal/report"
 )
 
@@ -43,9 +54,17 @@ func run(args []string) error {
 	engine := fs.String("engine", "row", "storage engine for experiment data: row (zero-copy join view) or col (columnar)")
 	csvOut := fs.String("csv", "", "also export accuracy cells (tables 2/3/5/6) as CSV to this path")
 	jsonOut := fs.String("json", "", "also export accuracy cells as JSON to this path")
+	serving := fs.Bool("serving", false, "run the serving study: factorized vs per-request-join inference timings")
+	train := fs.Bool("train", false, "train -spec on -dataset's JoinAll view and save the model artifact to -model")
+	eval := fs.Bool("eval", false, "load the -model artifact and report holdout test accuracy")
+	modelPath := fs.String("model", "", "model artifact path (-train writes it, -eval reads it)")
+	datasetName := fs.String("dataset", "", "dataset name for -train/-eval (see Table 1: Expedia, Movies, Yelp, Walmart, LastFM, Books, Flights)")
+	specName := fs.String("spec", "NaiveBayes(BFS)", "classifier spec for -train (a Tables 2-3 model name)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	o := experiments.Options{
 		Scale:  *scale,
@@ -91,6 +110,16 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *train {
+		return runTrain(*modelPath, *datasetName, *specName, o)
+	}
+	if *serving {
+		_, err := experiments.ServingStudy(o)
+		return err
+	}
+	if *eval {
+		return runEval(*modelPath, *datasetName, o, explicit)
+	}
 	if *all {
 		var allCells []experiments.AccuracyCell
 		for _, t := range []int{1, 2, 3, 4, 5, 6} {
@@ -118,6 +147,90 @@ func run(args []string) error {
 		return err
 	}
 	return fmt.Errorf("nothing to do: pass -table N, -figure 1, or -all")
+}
+
+// buildEnv generates a named dataset and prepares the experiment Env.
+func buildEnv(name string, o experiments.Options) (*core.Env, error) {
+	spec, err := dataset.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := dataset.Generate(spec, o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEnvEngine(ss, o.Seed, o.Engine)
+}
+
+// runTrain is the train half of the serving pipeline: tune the spec on the
+// dataset's JoinAll view, report accuracies, and persist the artifact.
+func runTrain(modelPath, datasetName, specName string, o experiments.Options) error {
+	if modelPath == "" || datasetName == "" {
+		return fmt.Errorf("-train requires -model <path> and -dataset <name>")
+	}
+	spec, err := core.SpecByName(specName, o.Effort, o.SVMCap)
+	if err != nil {
+		return err
+	}
+	env, err := buildEnv(datasetName, o)
+	if err != nil {
+		return err
+	}
+	m, res, err := core.BuildArtifact(env, spec, o.Seed, map[string]string{
+		core.MetaDataset: datasetName,
+		core.MetaScale:   strconv.Itoa(o.Scale),
+		core.MetaEngine:  o.Engine.String(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := model.Save(modelPath, m); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "trained %s on %s (scale %d, seed %d): val %.4f, test %.4f\n",
+		specName, datasetName, o.Scale, o.Seed, res.ValAcc, res.TestAcc)
+	fmt.Fprintf(o.Out, "saved %s artifact (%s) to %s\n", m.Kind, m.Fingerprint().Short(), modelPath)
+	return nil
+}
+
+// runEval loads an artifact and reports its holdout test accuracy on the
+// regenerated dataset. Dataset, scale, and seed default from the artifact
+// metadata — so `hamlet -eval -model m.bin` just works on a hamlet-trained
+// model — but an explicitly passed flag always wins.
+func runEval(modelPath, datasetName string, o experiments.Options, explicit map[string]bool) error {
+	if modelPath == "" {
+		return fmt.Errorf("-eval requires -model <path>")
+	}
+	m, err := model.Load(modelPath)
+	if err != nil {
+		return err
+	}
+	if datasetName == "" {
+		datasetName = m.Meta[core.MetaDataset]
+		if datasetName == "" {
+			return fmt.Errorf("-eval: artifact has no dataset metadata; pass -dataset")
+		}
+	}
+	if s := m.Meta[core.MetaScale]; s != "" && !explicit["scale"] {
+		if v, err := strconv.Atoi(s); err == nil {
+			o.Scale = v
+		}
+	}
+	if s := m.Meta[core.MetaSeed]; s != "" && !explicit["seed"] {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			o.Seed = v
+		}
+	}
+	env, err := buildEnv(datasetName, o)
+	if err != nil {
+		return err
+	}
+	acc, err := core.EvalArtifact(env, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "%s (%s) on %s holdout test: %.4f\n", m.Kind, m.Fingerprint().Short(), datasetName, acc)
+	return nil
 }
 
 // runTable renders one table and returns its accuracy cells where the table

@@ -1,0 +1,127 @@
+// Command hamletd is the online inference server: it loads a model artifact
+// trained by `hamlet -train`, regenerates the star schema the model was
+// trained on (dimension tables are what factorized serving precomputes
+// against), and serves predictions over HTTP without ever materializing the
+// KFK join.
+//
+// Usage:
+//
+//	hamlet  -train -dataset Movies -spec "NaiveBayes(BFS)" -model m.bin
+//	hamletd -model m.bin [-addr 127.0.0.1:8080]
+//
+// Dataset, scale, and seed default from the artifact's metadata, so a
+// hamlet-trained model serves with no further flags; pass -dataset/-scale/
+// -seed to override. -addr accepts port 0 for an OS-assigned port (the
+// bound address is printed on startup).
+//
+// Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats.
+// Linear-family models (Naive Bayes, logistic regression, linear SVM) are
+// served factorized — one precomputed partial-score lookup per dimension
+// table per request; others fall back to per-request gather through the
+// join view. A ?mode=factorized|joined query parameter pins the path for
+// A/B comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hamletd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	srv, addr, err := build(args, out)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hamletd listening on %s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// build parses flags, loads the artifact, regenerates the star schema, and
+// assembles the HTTP server — everything except binding the socket, so
+// tests can drive the handler without a real listener.
+func build(args []string, out *os.File) (*serve.Server, string, error) {
+	fs := flag.NewFlagSet("hamletd", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "model artifact path (required; train with hamlet -train)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 for an OS-assigned port)")
+	datasetName := fs.String("dataset", "", "dataset name (default: artifact metadata)")
+	scale := fs.Int("scale", 0, "dataset scale divisor (default: artifact metadata)")
+	seed := fs.Uint64("seed", 0, "dataset generation seed (default: artifact metadata)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *modelPath == "" {
+		return nil, "", fmt.Errorf("-model <path> is required")
+	}
+	m, err := model.Load(*modelPath)
+	if err != nil {
+		return nil, "", err
+	}
+
+	name := *datasetName
+	if name == "" {
+		name = m.Meta[core.MetaDataset]
+		if name == "" {
+			return nil, "", fmt.Errorf("artifact has no dataset metadata; pass -dataset")
+		}
+	}
+	sc := *scale
+	if !explicit["scale"] {
+		sc = 64
+		if s := m.Meta[core.MetaScale]; s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				sc = v
+			}
+		}
+	}
+	sd := *seed
+	if !explicit["seed"] {
+		sd = 1
+		if s := m.Meta[core.MetaSeed]; s != "" {
+			if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+				sd = v
+			}
+		}
+	}
+
+	spec, err := dataset.SpecByName(name)
+	if err != nil {
+		return nil, "", err
+	}
+	ss, err := dataset.Generate(spec, sc, sd)
+	if err != nil {
+		return nil, "", err
+	}
+	engine, err := serve.NewEngine(m, ss)
+	if err != nil {
+		return nil, "", err
+	}
+	mode := "joined (gather fallback)"
+	if engine.Factorized() {
+		mode = "factorized (per-dimension partial scores)"
+	}
+	fmt.Fprintf(out, "hamletd: serving %s (%s) on %s scale %d seed %d — %s, %d inputs, %d dimensions\n",
+		m.Kind, m.Fingerprint().Short(), name, sc, sd, mode, len(engine.InputFeatures()), engine.NumDimensions())
+	return serve.NewServer(engine), *addr, nil
+}

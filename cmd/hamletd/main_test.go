@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// trainArtifact trains a tiny NB model on Movies and saves it, returning the
+// artifact path — the same flow `hamlet -train` runs.
+func trainArtifact(t *testing.T) string {
+	t.Helper()
+	spec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := core.NewEnv(ss, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := core.BuildArtifact(env, core.NaiveBayesBFSSpec(), 1, map[string]string{
+		core.MetaDataset: "Movies",
+		core.MetaScale:   "4096",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "movies.model")
+	if err := model.Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBuildAndServe drives the full daemon wiring: artifact → flags →
+// engine → HTTP handler, with dataset/scale defaulted from metadata.
+func TestBuildAndServe(t *testing.T) {
+	path := trainArtifact(t)
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	srv, addr, err := build([]string{"-model", path, "-addr", "127.0.0.1:0"}, devnull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:0" {
+		t.Fatalf("addr = %q", addr)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	inputs := make([]map[string]int32, 0, 2)
+	obj := map[string]int32{}
+	for _, f := range srv.Engine().InputFeatures() {
+		obj[f.Name] = 0
+	}
+	inputs = append(inputs, obj, obj)
+	raw, _ := json.Marshal(map[string]any{"inputs": inputs})
+	post, err := http.Post(ts.URL+"/predict_batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("/predict_batch: %d", post.StatusCode)
+	}
+	var got struct {
+		Predictions []int8 `json:"predictions"`
+		N           int    `json:"n"`
+		Mode        string `json:"mode"`
+	}
+	if err := json.NewDecoder(post.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 2 || len(got.Predictions) != 2 || got.Mode != "factorized" {
+		t.Fatalf("batch response %+v", got)
+	}
+}
+
+// TestBuildErrors covers flag and artifact validation.
+func TestBuildErrors(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if _, _, err := build(nil, devnull); err == nil {
+		t.Fatal("missing -model accepted")
+	}
+	if _, _, err := build([]string{"-model", "/nonexistent/m.bin"}, devnull); err == nil {
+		t.Fatal("nonexistent artifact accepted")
+	}
+	// A model bound to the wrong dataset must fail with a schema mismatch.
+	path := trainArtifact(t)
+	if _, _, err := build([]string{"-model", path, "-dataset", "Flights"}, devnull); err == nil {
+		t.Fatal("wrong dataset accepted")
+	}
+}

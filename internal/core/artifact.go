@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ml"
+	"repro/internal/model"
+)
+
+// Artifact metadata keys written by BuildArtifact and read back by the
+// serving binary to locate the star schema a model was trained on.
+const (
+	MetaDataset = "dataset"
+	MetaScale   = "scale"
+	MetaSeed    = "seed"
+	MetaSpec    = "spec"
+	MetaEngine  = "engine"
+	MetaView    = "view"
+	MetaValAcc  = "val_acc"
+	MetaTestAcc = "test_acc"
+)
+
+// BuildArtifact runs the train half of the train → save → serve pipeline:
+// tune and fit the spec on the env's JoinAll view (train/validation splits),
+// evaluate on the holdout test split, and package the fitted classifier with
+// its feature schema and provenance metadata into a persistable model. The
+// extra metadata map is merged in (caller keys win on conflict).
+func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*model.Model, Result, error) {
+	train, val, test, err := e.ViewSplits(ml.JoinAll, nil)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	c, point, valAcc, err := spec.Train(train, val, seed)
+	if err != nil {
+		return nil, Result{}, fmt.Errorf("core: %s: %w", spec.Name, err)
+	}
+	res := Result{
+		Model:     spec.Name,
+		View:      ml.JoinAll,
+		TestAcc:   ml.Accuracy(c, test),
+		TrainAcc:  ml.Accuracy(c, train),
+		ValAcc:    valAcc,
+		BestPoint: point,
+	}
+	meta := map[string]string{
+		MetaSpec:    spec.Name,
+		MetaSeed:    strconv.FormatUint(seed, 10),
+		MetaView:    ml.JoinAll.String(),
+		MetaValAcc:  strconv.FormatFloat(valAcc, 'g', -1, 64),
+		MetaTestAcc: strconv.FormatFloat(res.TestAcc, 'g', -1, 64),
+	}
+	for k, v := range extra {
+		meta[k] = v
+	}
+	m, err := model.New(c, train.Features, meta)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return m, res, nil
+}
+
+// EvalArtifact scores a persisted model on the env's holdout test split
+// after verifying the feature schema fingerprint — the load half of the
+// pipeline. It returns the holdout test accuracy.
+func EvalArtifact(e *Env, m *model.Model) (float64, error) {
+	_, _, test, err := e.ViewSplits(ml.JoinAll, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.CheckFeatures(test.Features); err != nil {
+		return 0, err
+	}
+	c, ok := m.Classifier()
+	if !ok {
+		return 0, fmt.Errorf("core: model kind %q is not a binary classifier", m.Kind)
+	}
+	return ml.Accuracy(c, test), nil
+}

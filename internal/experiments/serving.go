@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relational"
+	"repro/internal/serve"
+	"repro/internal/svm"
+	"repro/internal/texttable"
+)
+
+// ServingRow is one model's serving-time comparison: nanoseconds per request
+// on the factorized path (per-dimension partial-score lookups) vs the joined
+// path (per-request gather through the join view), over the same request
+// stream.
+type ServingRow struct {
+	Model        string
+	Factorized   bool
+	FactorizedNs float64
+	JoinedNs     float64
+	TestAcc      float64
+	ScoresAgree  bool
+}
+
+// Speedup returns joined ns / factorized ns (0 when no factorized form).
+func (r ServingRow) Speedup() float64 {
+	if !r.Factorized || r.FactorizedNs <= 0 {
+		return 0
+	}
+	return r.JoinedNs / r.FactorizedNs
+}
+
+// ServingStudy measures the serving subsystem end to end on one generated
+// dataset: train each linear-family spec through the full pipeline
+// (tune → fit → artifact), bind a serving engine, replay the fact table as
+// request traffic, and time the factorized path against the per-request
+// join. It also cross-checks that the two paths score every request
+// bit-identically — the serving analogue of the study's accuracy-parity
+// tables.
+func ServingStudy(o Options) ([]ServingRow, error) {
+	o = o.withDefaults()
+	env, err := envFor("Movies", o)
+	if err != nil {
+		return nil, err
+	}
+	specs := []core.Spec{
+		core.NaiveBayesBFSSpec(),
+		core.LogRegSpec(o.Effort),
+		core.SVMSpec(svm.Linear, o.Effort, o.SVMCap),
+	}
+	var rows []ServingRow
+	for _, spec := range specs {
+		m, res, err := core.BuildArtifact(env, spec, o.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := serve.NewEngine(m, env.Star)
+		if err != nil {
+			return nil, err
+		}
+		row := ServingRow{Model: spec.Name, Factorized: engine.Factorized(), TestAcc: res.TestAcc, ScoresAgree: true}
+
+		fact := env.Star.Fact
+		n := min(fact.NumRows(), 2048)
+		reqs := make([][]relational.Value, n)
+		for i := range reqs {
+			reqs[i] = engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), fact.Row(i))
+		}
+		for _, req := range reqs {
+			pj, err := engine.PredictJoined(req)
+			if err != nil {
+				return nil, err
+			}
+			if engine.Factorized() {
+				pf, err := engine.PredictFactorized(req)
+				if err != nil {
+					return nil, err
+				}
+				if math.Float64bits(pf.Score) != math.Float64bits(pj.Score) || pf.Class != pj.Class {
+					row.ScoresAgree = false
+				}
+			}
+		}
+
+		const passes = 8
+		if engine.Factorized() {
+			start := time.Now()
+			for p := 0; p < passes; p++ {
+				for _, req := range reqs {
+					if _, err := engine.PredictFactorized(req); err != nil {
+						return nil, err
+					}
+				}
+			}
+			row.FactorizedNs = float64(time.Since(start).Nanoseconds()) / float64(passes*n)
+		}
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			for _, req := range reqs {
+				if _, err := engine.PredictJoined(req); err != nil {
+					return nil, err
+				}
+			}
+		}
+		row.JoinedNs = float64(time.Since(start).Nanoseconds()) / float64(passes*n)
+		rows = append(rows, row)
+	}
+
+	tbl := texttable.New("model", "test acc", "factorized ns/req", "joined ns/req", "speedup", "bit-identical")
+	for _, r := range rows {
+		fns, sp := "n/a", "n/a"
+		if r.Factorized {
+			fns = fmt.Sprintf("%.0f", r.FactorizedNs)
+			sp = fmt.Sprintf("%.1fx", r.Speedup())
+		}
+		tbl.Row(r.Model, texttable.F(r.TestAcc), fns, fmt.Sprintf("%.0f", r.JoinedNs), sp, fmt.Sprintf("%v", r.ScoresAgree))
+	}
+	fmt.Fprintln(o.Out, "Serving study (Movies): factorized vs per-request join, fact-table replay")
+	if err := tbl.Render(o.Out); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

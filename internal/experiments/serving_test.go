@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServingStudy runs the serving comparison at unit-test scale: every
+// linear-family model must produce a factorized engine whose scores agree
+// with the joined path (ServingStudy errors internally otherwise), and the
+// rendered table must reach the writer.
+func TestServingStudy(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := ServingStudy(tinyOptions(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Factorized {
+			t.Fatalf("%s did not serve factorized", r.Model)
+		}
+		if !r.ScoresAgree {
+			t.Fatalf("%s scores diverged between paths", r.Model)
+		}
+		if r.JoinedNs <= 0 || r.FactorizedNs <= 0 {
+			t.Fatalf("%s has empty timings: %+v", r.Model, r)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Serving study") || !strings.Contains(out, "NaiveBayes(BFS)") {
+		t.Fatalf("rendered output incomplete:\n%s", out)
+	}
+}

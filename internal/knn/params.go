@@ -1,0 +1,55 @@
+package knn
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+)
+
+// Params is the serializable state of a fitted 1-NN classifier: the
+// memorized training examples, row-major, in training order (order matters —
+// ties break to the earliest example).
+type Params struct {
+	X []relational.Value // len = n × feature count
+	Y []int8
+}
+
+// ExportParams materializes the memorized training set. For view-backed
+// training data this is the one copy persistence pays; the live model keeps
+// its zero-copy view.
+func (k *OneNN) ExportParams() (Params, error) {
+	if k.train == nil {
+		return Params{}, fmt.Errorf("knn: export before Fit")
+	}
+	dense := k.train.Materialize()
+	return Params{
+		X: append([]relational.Value(nil), dense.X...),
+		Y: append([]int8(nil), dense.Y...),
+	}, nil
+}
+
+// FromParams reconstructs a fitted 1-NN classifier over dense storage.
+func FromParams(features []ml.Feature, p Params) (*OneNN, error) {
+	d := len(features)
+	if d == 0 || len(p.X)%d != 0 {
+		return nil, fmt.Errorf("knn: example block of %d values is not a multiple of %d features", len(p.X), d)
+	}
+	if len(p.X)/d != len(p.Y) {
+		return nil, fmt.Errorf("knn: %d example rows but %d labels", len(p.X)/d, len(p.Y))
+	}
+	if len(p.Y) == 0 {
+		return nil, fmt.Errorf("knn: empty training set")
+	}
+	for i, y := range p.Y {
+		if y != 0 && y != 1 {
+			return nil, fmt.Errorf("knn: label %d of example %d outside {0,1}", y, i)
+		}
+	}
+	ds := &ml.Dataset{
+		Features: append([]ml.Feature(nil), features...),
+		X:        append([]relational.Value(nil), p.X...),
+		Y:        append([]int8(nil), p.Y...),
+	}
+	return &OneNN{train: ds}, nil
+}

@@ -1,0 +1,55 @@
+package linear
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// Params is the serializable state of a fitted logistic regression: the flat
+// one-hot weight vector and intercept. Hyper-parameters are provenance only
+// (Predict never reads them) but are kept so a decoded model reports how it
+// was trained.
+type Params struct {
+	Lambda float64
+	L2     float64
+	W      []float64
+	B      float64
+}
+
+// ExportParams snapshots the fitted model's state (slices are copies).
+func (m *LogReg) ExportParams() (Params, error) {
+	if m.enc == nil {
+		return Params{}, fmt.Errorf("linear: export before Fit")
+	}
+	return Params{
+		Lambda: m.cfg.Lambda,
+		L2:     m.cfg.L2,
+		W:      append([]float64(nil), m.w...),
+		B:      m.b,
+	}, nil
+}
+
+// FromParams reconstructs a fitted model; the feature list must match the
+// training features (the weight length is validated against the implied
+// encoder dimensions).
+func FromParams(features []ml.Feature, p Params) (*LogReg, error) {
+	enc := ml.NewEncoder(features)
+	if len(p.W) != enc.Dims {
+		return nil, fmt.Errorf("linear: weight vector has %d entries, features imply %d", len(p.W), enc.Dims)
+	}
+	m := NewLogReg(LogRegConfig{Lambda: p.Lambda, L2: p.L2})
+	m.enc = enc
+	m.w = append([]float64(nil), p.W...)
+	m.b = p.B
+	return m, nil
+}
+
+// ExportLinear implements ml.LinearExporter: logistic regression is already
+// stored in the canonical linear form (log-odds = b + Σ w).
+func (m *LogReg) ExportLinear(features []ml.Feature) (float64, []float64, bool) {
+	if m.enc == nil || ml.NewEncoder(features).Dims != m.enc.Dims {
+		return 0, nil, false
+	}
+	return m.b, append([]float64(nil), m.w...), true
+}

@@ -228,5 +228,15 @@ func (c *ConstantClassifier) Fit(train *Dataset) error {
 // Predict returns the fixed class.
 func (c *ConstantClassifier) Predict([]relational.Value) int8 { return c.Class }
 
+// ExportLinear implements LinearExporter: a constant model is the degenerate
+// linear model with zero weights and a bias carrying the class sign.
+func (c *ConstantClassifier) ExportLinear(features []Feature) (float64, []float64, bool) {
+	bias := -1.0
+	if c.Class == 1 {
+		bias = 1
+	}
+	return bias, make([]float64, NewEncoder(features).Dims), true
+}
+
 // Name implements Named.
 func (c *ConstantClassifier) Name() string { return "Majority" }

@@ -1,0 +1,351 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+)
+
+// The artifact container format, version 1 (all integers little-endian):
+//
+//	magic   "HMLTMDL1" (8 bytes)
+//	meta    u32 count, then per entry: string key, string value (sorted keys)
+//	schema  u32 count, then per feature: string name, u32 cardinality, u8 fk
+//	fprint  32 bytes — FingerprintFeatures of the schema block (integrity)
+//	kind    string
+//	payload u64 length, then the kind-specific parameter block
+//
+// Strings are u32 length + bytes; floats are IEEE-754 bits; bools are one
+// byte. The payload is length-framed so a reader can skip kinds it does not
+// know, and the fingerprint is recomputed from the decoded schema so a
+// corrupted or hand-edited schema block is rejected before any parameters
+// are interpreted.
+const (
+	magic            = "HMLTMDL1"
+	maxStrLen        = 1 << 20 // 1 MiB: no name/meta string is legitimately larger
+	maxSlice         = 1 << 28 // element-count sanity bound for corrupt headers
+	maxHeaderEntries = 1 << 20 // meta pairs / feature columns
+	maxPayload       = 1 << 31
+)
+
+// writer wraps an io.Writer with the primitive encoders; the first error
+// sticks.
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) bytes(b []byte) {
+	if w.err == nil {
+		_, w.err = w.w.Write(b)
+	}
+}
+
+func (w *writer) u8(v uint8) { w.bytes([]byte{v}) }
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.bytes(b[:])
+}
+
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) str(s string) { w.u32(uint32(len(s))); w.bytes([]byte(s)) }
+
+func (w *writer) f64s(xs []float64) {
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.f64(x)
+	}
+}
+
+func (w *writer) values(xs []relational.Value) {
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.u32(uint32(x))
+	}
+}
+
+func (w *writer) bools(xs []bool) {
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.boolean(x)
+	}
+}
+
+// reader wraps an io.Reader with the primitive decoders; the first error
+// sticks and subsequent reads return zero values. remaining, when
+// non-negative, bounds how many bytes may still be read — counts are checked
+// against it before any allocation, so a corrupt header cannot demand a
+// gigabyte slice backed by ten real bytes.
+type reader struct {
+	r         *bufio.Reader
+	remaining int64
+	err       error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) bytes(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.remaining >= 0 {
+		if int64(len(b)) > r.remaining {
+			r.fail(fmt.Errorf("model: truncated input"))
+			return
+		}
+		r.remaining -= int64(len(b))
+	}
+	_, r.err = io.ReadFull(r.r, b)
+}
+
+func (r *reader) u8() uint8 {
+	var b [1]byte
+	r.bytes(b[:])
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("model: invalid boolean byte"))
+		return false
+	}
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if n > maxStrLen {
+		r.fail(fmt.Errorf("model: string of %d bytes exceeds sanity bound", n))
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	return string(b)
+}
+
+// countSized reads an element count and verifies that elemSize bytes per
+// element could still be present in the input before the caller allocates.
+func (r *reader) countSized(what string, elemSize int64) int {
+	n := r.u32()
+	if n > maxSlice {
+		r.fail(fmt.Errorf("model: %s count %d exceeds sanity bound", what, n))
+		return 0
+	}
+	if r.remaining >= 0 && int64(n)*elemSize > r.remaining {
+		r.fail(fmt.Errorf("model: %s count %d exceeds remaining input", what, n))
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) count(what string) int { return r.countSized(what, 1) }
+
+func (r *reader) f64s() []float64 {
+	n := r.countSized("float slice", 8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *reader) values() []relational.Value {
+	n := r.countSized("value slice", 4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]relational.Value, n)
+	for i := range out {
+		out[i] = relational.Value(r.u32())
+	}
+	return out
+}
+
+func (r *reader) bools() []bool {
+	n := r.count("bool slice")
+	if r.err != nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.boolean()
+	}
+	return out
+}
+
+// Encode writes the model artifact. Identical models produce identical
+// bytes: metadata keys are sorted and every float is written as its IEEE
+// bits.
+func Encode(dst io.Writer, m *Model) error {
+	enc, ok := kinds[m.Kind]
+	if !ok {
+		return fmt.Errorf("model: unknown kind %q", m.Kind)
+	}
+	w := &writer{w: bufio.NewWriter(dst)}
+	w.bytes([]byte(magic))
+
+	keys := make([]string, 0, len(m.Meta))
+	for k := range m.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(m.Meta[k])
+	}
+
+	w.u32(uint32(len(m.Features)))
+	for _, f := range m.Features {
+		w.str(f.Name)
+		w.u32(uint32(f.Cardinality))
+		w.boolean(f.IsFK)
+	}
+	fp := m.Fingerprint()
+	w.bytes(fp[:])
+
+	w.str(m.Kind)
+	var payload bytes.Buffer
+	pw := &writer{w: bufio.NewWriter(&payload)}
+	if err := enc.encode(pw, m); err != nil {
+		return err
+	}
+	if pw.err == nil {
+		pw.err = pw.w.Flush()
+	}
+	if pw.err != nil {
+		return fmt.Errorf("model: encode %s payload: %w", m.Kind, pw.err)
+	}
+	w.u64(uint64(payload.Len()))
+	w.bytes(payload.Bytes())
+
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	if w.err != nil {
+		return fmt.Errorf("model: encode: %w", w.err)
+	}
+	return nil
+}
+
+// Decode reads a model artifact, verifying magic, schema fingerprint, and
+// payload framing.
+func Decode(src io.Reader) (*Model, error) {
+	r := &reader{r: bufio.NewReader(src), remaining: -1}
+	head := make([]byte, len(magic))
+	r.bytes(head)
+	if r.err == nil && string(head) != magic {
+		return nil, fmt.Errorf("model: bad magic %q (not a model artifact, or an incompatible version)", head)
+	}
+
+	m := &Model{}
+	n := r.count("meta")
+	if r.err == nil && n > maxHeaderEntries {
+		return nil, fmt.Errorf("model: meta count %d exceeds sanity bound", n)
+	}
+	if n > 0 && r.err == nil {
+		m.Meta = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			m.Meta[k] = r.str()
+		}
+	}
+
+	nf := r.count("feature")
+	if r.err == nil && nf > maxHeaderEntries {
+		return nil, fmt.Errorf("model: feature count %d exceeds sanity bound", nf)
+	}
+	if r.err == nil {
+		m.Features = make([]ml.Feature, nf)
+		for i := range m.Features {
+			m.Features[i] = ml.Feature{Name: r.str(), Cardinality: int(r.u32()), IsFK: r.boolean()}
+		}
+	}
+	var stored Fingerprint
+	r.bytes(stored[:])
+	if r.err == nil {
+		if got := FingerprintFeatures(m.Features); got != stored {
+			return nil, fmt.Errorf("model: corrupt artifact: schema fingerprint %s does not match stored %s", got.Short(), stored.Short())
+		}
+	}
+
+	m.Kind = r.str()
+	payloadLen := r.u64()
+	if r.err == nil && payloadLen > maxPayload {
+		return nil, fmt.Errorf("model: payload of %d bytes exceeds sanity bound", payloadLen)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("model: decode: %w", r.err)
+	}
+	dec, ok := kinds[m.Kind]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown kind %q", m.Kind)
+	}
+	// CopyN grows the buffer as bytes actually arrive, so a corrupt length
+	// field on a truncated stream fails without a huge up-front allocation.
+	var payload bytes.Buffer
+	if _, err := io.CopyN(&payload, r.r, int64(payloadLen)); err != nil {
+		return nil, fmt.Errorf("model: decode: truncated payload: %w", err)
+	}
+	pr := &reader{r: bufio.NewReader(bytes.NewReader(payload.Bytes())), remaining: int64(payload.Len())}
+	impl, err := dec.decode(pr, m.Features)
+	if err != nil {
+		return nil, err
+	}
+	if pr.err != nil {
+		return nil, fmt.Errorf("model: decode %s payload: %w", m.Kind, pr.err)
+	}
+	m.Impl = impl
+	return m, nil
+}

@@ -70,13 +70,10 @@ func (d *Dataset) BinarizeOrdinalHalves() *ml.Dataset {
 	return out
 }
 
-// Scorer is an optional interface: binary classifiers exposing a real-valued
-// confidence for the positive class through a Decision method. The SVM and
-// logistic regression already satisfy it; classifiers without it contribute
-// hard ±1 votes.
-type Scorer interface {
-	Decision(row []relational.Value) float64
-}
+// Scorer is the shared real-valued-confidence interface, re-exported from ml
+// (the SVM and logistic regression already satisfy it); classifiers without
+// it contribute hard ±1 votes.
+type Scorer = ml.Scorer
 
 // OneVsRest trains one binary classifier per class.
 type OneVsRest struct {
@@ -116,6 +113,25 @@ func (o *OneVsRest) Fit(train *Dataset) error {
 		o.models[c] = m
 	}
 	return nil
+}
+
+// Models returns the per-class fitted binary classifiers in class order
+// (nil before Fit). The model codec serializes a one-vs-rest ensemble as its
+// sub-models; FromModels is the inverse.
+func (o *OneVsRest) Models() []ml.Classifier { return o.models }
+
+// NumClasses returns K (0 before Fit).
+func (o *OneVsRest) NumClasses() int { return o.k }
+
+// FromModels reconstructs a fitted one-vs-rest ensemble from per-class
+// binary classifiers — the decoding path of model persistence. The resulting
+// ensemble can Predict but has no NewClassifier factory; calling Fit on it
+// returns an error unless one is installed.
+func FromModels(models []ml.Classifier) (*OneVsRest, error) {
+	if len(models) < 2 {
+		return nil, fmt.Errorf("multiclass: need at least 2 class models, got %d", len(models))
+	}
+	return &OneVsRest{models: models, k: len(models)}, nil
 }
 
 // Predict returns the class with the highest confidence. Scorer-capable

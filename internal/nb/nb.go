@@ -100,17 +100,43 @@ func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 		for _, y := range labels {
 			classN[y]++
 		}
-		ml.ParallelFor(d, func(j int) {
-			base := nb.enc.Offsets[j] * 2
-			buf := make([]relational.Value, min(fitMorsel, n))
-			for from := 0; from < n; {
-				m := train.ScanFeature(buf, j, from)
+		// Fan (feature, span) tasks across the pool: every feature's scan
+		// range is sharded into spans of whole morsels, each task tallies its
+		// span into a private slab, and the slabs merge in (feature, span)
+		// order. Counts are integer-valued sums, so the merged table is
+		// bit-identical to the historical per-feature loop while narrow
+		// feature sets (NoJoin's handful of columns) still saturate the pool.
+		spans := ml.Parallelism((n + fitMorsel - 1) / fitMorsel)
+		if spans < 1 {
+			spans = 1
+		}
+		slabs := make([][]float64, d*spans)
+		ml.ParallelFor(d*spans, func(task int) {
+			j, s := task/spans, task%spans
+			lo, hi := n*s/spans, n*(s+1)/spans
+			if lo == hi {
+				return
+			}
+			slab := make([]float64, train.Features[j].Cardinality*2)
+			buf := make([]relational.Value, min(fitMorsel, hi-lo))
+			for from := lo; from < hi; {
+				m := train.ScanFeature(buf[:min(len(buf), hi-from)], j, from)
 				for k := 0; k < m; k++ {
-					counts[base+int(buf[k])*2+int(labels[from+k])]++
+					slab[int(buf[k])*2+int(labels[from+k])]++
 				}
 				from += m
 			}
+			slabs[task] = slab
 		})
+		for j := 0; j < d; j++ {
+			base := nb.enc.Offsets[j] * 2
+			for s := 0; s < spans; s++ {
+				slab := slabs[j*spans+s]
+				for i, c := range slab {
+					counts[base+i] += c
+				}
+			}
+		}
 	}
 	for c := 0; c < 2; c++ {
 		nb.logPrior[c] = logf((classN[c] + nb.cfg.Alpha) / (float64(n) + 2*nb.cfg.Alpha))

@@ -1,0 +1,77 @@
+package nb
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// Params is the complete serializable state of a fitted NaiveBayes model:
+// everything Predict needs besides the feature list (which the model artifact
+// stores alongside, since the encoder offsets derive from it).
+type Params struct {
+	// Alpha is the Laplace pseudo-count the model was fitted with.
+	Alpha float64
+	// LogPrior[c] is log P(Y=c).
+	LogPrior [2]float64
+	// LogLik is the flat conditional table, laid out as in NaiveBayes.
+	LogLik []float64
+	// Active mirrors the backward-selection feature mask.
+	Active []bool
+}
+
+// ExportParams snapshots the fitted model's state. Slices are copies; the
+// model is not aliased.
+func (nb *NaiveBayes) ExportParams() (Params, error) {
+	if nb.enc == nil {
+		return Params{}, fmt.Errorf("nb: export before Fit")
+	}
+	return Params{
+		Alpha:    nb.cfg.Alpha,
+		LogPrior: nb.logPrior,
+		LogLik:   append([]float64(nil), nb.logLik...),
+		Active:   append([]bool(nil), nb.active...),
+	}, nil
+}
+
+// FromParams reconstructs a fitted model from exported state. The feature
+// list must be the one the model was trained with: the conditional-table
+// length is validated against the implied encoder dimensions.
+func FromParams(features []ml.Feature, p Params) (*NaiveBayes, error) {
+	enc := ml.NewEncoder(features)
+	if len(p.LogLik) != enc.Dims*2 {
+		return nil, fmt.Errorf("nb: conditional table has %d entries, features imply %d", len(p.LogLik), enc.Dims*2)
+	}
+	if len(p.Active) != len(features) {
+		return nil, fmt.Errorf("nb: active mask has %d entries for %d features", len(p.Active), len(features))
+	}
+	return &NaiveBayes{
+		cfg:      Config{Alpha: p.Alpha},
+		logPrior: p.LogPrior,
+		logLik:   append([]float64(nil), p.LogLik...),
+		enc:      enc,
+		active:   append([]bool(nil), p.Active...),
+	}, nil
+}
+
+// ExportLinear implements ml.LinearExporter: Naive Bayes' decision is the
+// log-posterior difference, linear in the one-hot features with weight
+// log P(x_j=v|Y=1) − log P(x_j=v|Y=0) per (feature, value) pair and the
+// prior log-odds as bias. Inactive (backward-selected-away) features export
+// zero weights, matching Predict's skip.
+func (nb *NaiveBayes) ExportLinear(features []ml.Feature) (float64, []float64, bool) {
+	if nb.enc == nil || len(features) != len(nb.active) || ml.NewEncoder(features).Dims != nb.enc.Dims {
+		return 0, nil, false
+	}
+	w := make([]float64, nb.enc.Dims)
+	for j, f := range features {
+		if !nb.active[j] {
+			continue
+		}
+		for v := 0; v < f.Cardinality; v++ {
+			k := nb.enc.Offsets[j] + v
+			w[k] = nb.logLik[k*2+1] - nb.logLik[k*2]
+		}
+	}
+	return nb.logPrior[1] - nb.logPrior[0], w, true
+}

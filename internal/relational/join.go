@@ -200,6 +200,30 @@ func (v *JoinView) GatherColumnVia(dst []Value, col int, idx []int, rows []int) 
 // Fact returns the underlying fact table.
 func (v *JoinView) Fact() *Table { return v.fact }
 
+// AssembleRow fills dst (len >= the join schema width) with the joined row
+// for an arbitrary fact-shaped row — one that need not exist in the fact
+// table. This is the serving-time gather: an inference request arrives as
+// fact attributes plus foreign-key ids, and the dimension features are
+// resolved through the same per-dimension plans CopyRow uses. Foreign-key
+// values must be in range for their dimension (callers validate request
+// inputs up front, as NewJoinView validated the fact table); the target slot
+// is copied through like any other fact column.
+func (v *JoinView) AssembleRow(dst []Value, factRow []Value) []Value {
+	dst = dst[:v.schema.Width()]
+	copy(dst, factRow[:v.factW])
+	at := v.factW
+	for i := range v.plans {
+		p := &v.plans[i]
+		fk := factRow[p.fkCol]
+		dimRow := p.dim.Row(int(fk))
+		for _, fi := range p.featIdx {
+			dst[at] = dimRow[fi]
+			at++
+		}
+	}
+	return dst
+}
+
 // Join materializes the projected KFK equi-join that the paper calls
 // JoinAll's input. It is now a thin wrapper — Materialize over the
 // factorized JoinView — kept for compatibility and for consumers that truly

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relational"
+)
+
+// Server wraps an Engine with the HTTP API:
+//
+//	POST /predict        {"input": {"Home0": 1, "FK_Users": 3, ...}}
+//	POST /predict_batch  {"inputs": [{...}, {...}, ...]}
+//	GET  /healthz
+//	GET  /stats
+//
+// Inputs are JSON objects mapping input feature names (see
+// Engine.InputFeatures) to integer category codes. Responses carry the
+// predicted class, and the decision score where the model exposes one. A
+// "mode" query parameter ("factorized" or "joined") selects the scoring
+// path for A/B checks; the default is the engine's fastest correct path.
+type Server struct {
+	engine *Engine
+	start  time.Time
+
+	requests atomic.Int64
+	examples atomic.Int64
+	errors   atomic.Int64
+	batchMax atomic.Int64
+	inputPos map[string]int
+	mux      *http.ServeMux
+}
+
+// NewServer builds the HTTP front end for an engine.
+func NewServer(e *Engine) *Server {
+	s := &Server{
+		engine:   e,
+		start:    time.Now(),
+		inputPos: make(map[string]int, len(e.InputFeatures())),
+	}
+	for i, f := range e.InputFeatures() {
+		s.inputPos[f.Name] = i
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/predict_batch", s.handlePredictBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the root handler (mountable under httptest or net/http).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the wrapped engine.
+func (s *Server) Engine() *Engine { return s.engine }
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// parseRequest converts a name→code object into the engine's positional
+// request layout, requiring exactly the engine's inputs (unknown names are
+// rejected rather than ignored — a misspelled feature must not silently
+// score as zero). Domain validation is left to the engine's Predict*
+// entry points, which all validate before scoring — checking here too
+// would scan every request twice.
+func (s *Server) parseRequest(obj map[string]int32) ([]relational.Value, error) {
+	req := make([]relational.Value, len(s.inputPos))
+	seen := 0
+	for name, v := range obj {
+		i, ok := s.inputPos[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown input feature %q", name)
+		}
+		req[i] = v
+		seen++
+	}
+	if seen != len(req) {
+		for _, f := range s.engine.InputFeatures() {
+			if _, ok := obj[f.Name]; !ok {
+				return nil, fmt.Errorf("missing input feature %q", f.Name)
+			}
+		}
+	}
+	return req, nil
+}
+
+// mode resolves the scoring-path override from the query string.
+func (s *Server) mode(r *http.Request) (factorized bool, err error) {
+	switch m := r.URL.Query().Get("mode"); m {
+	case "":
+		return s.engine.Factorized(), nil
+	case "factorized":
+		if !s.engine.Factorized() {
+			return false, fmt.Errorf("model kind %q has no factorized form", s.engine.Model().Kind)
+		}
+		return true, nil
+	case "joined":
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown mode %q (want factorized or joined)", m)
+	}
+}
+
+type predictResponse struct {
+	Prediction int8     `json:"prediction"`
+	Score      *float64 `json:"score,omitempty"`
+	Mode       string   `json:"mode"`
+}
+
+func response(p Prediction, factorized bool) predictResponse {
+	resp := predictResponse{Prediction: p.Class, Mode: "joined"}
+	if factorized {
+		resp.Mode = "factorized"
+	}
+	if p.Scored {
+		score := p.Score
+		resp.Score = &score
+	}
+	return resp
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body struct {
+		Input map[string]int32 `json:"input"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	req, err := s.parseRequest(body.Input)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	factorized, err := s.mode(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var p Prediction
+	if factorized {
+		p, err = s.engine.PredictFactorized(req)
+	} else {
+		p, err = s.engine.PredictJoined(req)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.examples.Add(1)
+	writeJSON(w, response(p, factorized))
+}
+
+type batchResponse struct {
+	Predictions []int8    `json:"predictions"`
+	Scores      []float64 `json:"scores,omitempty"`
+	N           int       `json:"n"`
+	Mode        string    `json:"mode"`
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body struct {
+		Inputs []map[string]int32 `json:"inputs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(body.Inputs) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	reqs := make([][]relational.Value, len(body.Inputs))
+	for i, obj := range body.Inputs {
+		req, err := s.parseRequest(obj)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "input %d: %v", i, err)
+			return
+		}
+		reqs[i] = req
+	}
+	factorized, err := s.mode(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var preds []Prediction
+	if factorized == s.engine.Factorized() {
+		preds, err = s.engine.PredictBatch(reqs)
+	} else {
+		// Forced joined mode on a linear engine: score sequentially through
+		// the gather path so the A/B comparison really exercises it.
+		preds = make([]Prediction, len(reqs))
+		for i, req := range reqs {
+			preds[i], err = s.engine.PredictJoined(req)
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.examples.Add(int64(len(preds)))
+	for n := int64(len(preds)); ; {
+		cur := s.batchMax.Load()
+		if n <= cur || s.batchMax.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	resp := batchResponse{Predictions: make([]int8, len(preds)), N: len(preds)}
+	resp.Mode = "joined"
+	if factorized {
+		resp.Mode = "factorized"
+	}
+	scored := true
+	for i, p := range preds {
+		resp.Predictions[i] = p.Class
+		scored = scored && p.Scored
+	}
+	if scored {
+		resp.Scores = make([]float64, len(preds))
+		for i, p := range preds {
+			resp.Scores[i] = p.Score
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e := s.engine
+	writeJSON(w, map[string]any{
+		"model":       e.Model().Kind,
+		"fingerprint": e.Model().Fingerprint().String(),
+		"factorized":  e.Factorized(),
+		"dimensions":  e.NumDimensions(),
+		"inputs":      len(e.InputFeatures()),
+		"requests":    s.requests.Load(),
+		"examples":    s.examples.Load(),
+		"errors":      s.errors.Load(),
+		"batch_max":   s.batchMax.Load(),
+		"uptime_ms":   time.Since(s.start).Milliseconds(),
+		"meta":        e.Model().Meta,
+	})
+}

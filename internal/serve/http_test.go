@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/nb"
+	"repro/internal/relational"
+)
+
+// testServer spins up an httptest server over a Naive Bayes engine on the
+// Walmart schema.
+func testServer(t *testing.T) (*httptest.Server, *Engine, *relational.StarSchema) {
+	t.Helper()
+	ss := star(t, "Walmart", 2048)
+	train, _ := joinAllDataset(t, ss)
+	nbc := nb.New(nb.Config{})
+	if err := nbc.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(nbc, train.Features, map[string]string{"dataset": "Walmart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(m, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(engine).Handler())
+	t.Cleanup(srv.Close)
+	return srv, engine, ss
+}
+
+// inputObject renders fact row i as the JSON request object.
+func inputObject(e *Engine, factRow []relational.Value) map[string]int32 {
+	req := e.RequestFromFactRow(make([]relational.Value, len(e.InputFeatures())), factRow)
+	obj := make(map[string]int32, len(req))
+	for i, f := range e.InputFeatures() {
+		obj[f.Name] = req[i]
+	}
+	return obj
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestHTTPPredict covers the single-prediction endpoint in both modes and
+// pins the HTTP result to the engine's.
+func TestHTTPPredict(t *testing.T) {
+	srv, engine, ss := testServer(t)
+	req := engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(0))
+	want, err := engine.PredictFactorized(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"", "?mode=factorized", "?mode=joined"} {
+		resp, body := postJSON(t, srv.URL+"/predict"+mode, map[string]any{"input": inputObject(engine, ss.Fact.Row(0))})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %q: status %d: %s", mode, resp.StatusCode, body)
+		}
+		var got predictResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Prediction != want.Class {
+			t.Fatalf("mode %q: prediction %d, want %d", mode, got.Prediction, want.Class)
+		}
+		if got.Score == nil || *got.Score != want.Score {
+			t.Fatalf("mode %q: score %v, want %v", mode, got.Score, want.Score)
+		}
+	}
+}
+
+// TestHTTPPredictBatch covers the batch endpoint and its agreement with the
+// engine across modes.
+func TestHTTPPredictBatch(t *testing.T) {
+	srv, engine, ss := testServer(t)
+	const n = 97 // not a multiple of the morsel size
+	inputs := make([]map[string]int32, n)
+	reqs := make([][]relational.Value, n)
+	for i := 0; i < n; i++ {
+		inputs[i] = inputObject(engine, ss.Fact.Row(i))
+		reqs[i] = engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(i))
+	}
+	want, err := engine.PredictBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"", "?mode=joined"} {
+		resp, body := postJSON(t, srv.URL+"/predict_batch"+mode, map[string]any{"inputs": inputs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %q: status %d: %s", mode, resp.StatusCode, body)
+		}
+		var got batchResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.N != n || len(got.Predictions) != n || len(got.Scores) != n {
+			t.Fatalf("mode %q: got %d/%d/%d results, want %d", mode, got.N, len(got.Predictions), len(got.Scores), n)
+		}
+		for i := range want {
+			if got.Predictions[i] != want[i].Class || got.Scores[i] != want[i].Score {
+				t.Fatalf("mode %q row %d: (%d, %v), want (%d, %v)",
+					mode, i, got.Predictions[i], got.Scores[i], want[i].Class, want[i].Score)
+			}
+		}
+	}
+}
+
+// TestHTTPErrors covers the rejection paths: bad method, bad JSON, unknown
+// and missing features, out-of-domain values, unknown mode, empty batch.
+func TestHTTPErrors(t *testing.T) {
+	srv, engine, ss := testServer(t)
+	ok := inputObject(engine, ss.Fact.Row(0))
+
+	get, err := http.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: status %d", get.StatusCode)
+	}
+
+	cases := map[string]any{
+		"unknown feature": map[string]any{"input": map[string]int32{"nope": 1}},
+		"missing feature": map[string]any{"input": map[string]int32{}},
+		"out of domain":   map[string]any{"input": withValue(ok, engine.InputFeatures()[0].Name, 9999)},
+		"negative value":  map[string]any{"input": withValue(ok, engine.InputFeatures()[0].Name, -1)},
+	}
+	for name, body := range cases {
+		resp, raw := postJSON(t, srv.URL+"/predict", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, raw)
+		}
+	}
+
+	resp, _ := postJSON(t, srv.URL+"/predict?mode=quantum", map[string]any{"input": ok})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/predict_batch", map[string]any{"inputs": []any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+}
+
+func withValue(base map[string]int32, key string, v int32) map[string]int32 {
+	out := make(map[string]int32, len(base))
+	for k, val := range base {
+		out[k] = val
+	}
+	out[key] = v
+	return out
+}
+
+// TestHTTPHealthzAndStats covers the operational endpoints.
+func TestHTTPHealthzAndStats(t *testing.T) {
+	srv, engine, ss := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: status %d", resp.StatusCode)
+	}
+
+	// Generate one prediction and one error, then read the counters.
+	if resp, body := postJSON(t, srv.URL+"/predict", map[string]any{"input": inputObject(engine, ss.Fact.Row(0))}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d: %s", resp.StatusCode, body)
+	}
+	postJSON(t, srv.URL+"/predict", map[string]any{"input": map[string]int32{"nope": 1}})
+
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["model"] != model.KindNaiveBayes {
+		t.Fatalf("stats model = %v", stats["model"])
+	}
+	if stats["factorized"] != true {
+		t.Fatalf("stats factorized = %v", stats["factorized"])
+	}
+	if fp := fmt.Sprint(stats["fingerprint"]); fp != engine.Model().Fingerprint().String() {
+		t.Fatalf("stats fingerprint = %s", fp)
+	}
+	if stats["requests"].(float64) < 2 || stats["errors"].(float64) < 1 || stats["examples"].(float64) < 1 {
+		t.Fatalf("stats counters off: %v", stats)
+	}
+}
+
+// TestHTTPConcurrentRequests hammers the server from many goroutines — the
+// engine is immutable and must be race-free (run under -race in CI).
+func TestHTTPConcurrentRequests(t *testing.T) {
+	srv, engine, ss := testServer(t)
+	want := make([]Prediction, 16)
+	for i := range want {
+		req := engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(i))
+		p, err := engine.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 8; i++ {
+				row := (g*8 + i) % 16
+				_, body := postJSONQuiet(srv.URL+"/predict", map[string]any{"input": inputObject(engine, ss.Fact.Row(row))})
+				var got predictResponse
+				if err := json.Unmarshal(body, &got); err != nil {
+					errs <- err
+					return
+				}
+				if got.Prediction != want[row].Class {
+					errs <- fmt.Errorf("row %d: prediction %d, want %d", row, got.Prediction, want[row].Class)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func postJSONQuiet(url string, body any) (*http.Response, []byte) {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}

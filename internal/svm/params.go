@@ -1,0 +1,113 @@
+package svm
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+)
+
+// Params is the serializable state of a fitted SVM: the kernel
+// configuration and the support set. A degenerate single-class fit has no
+// kernel and stores the class sign in B (matching Predict's fallback).
+type Params struct {
+	Kernel KernelKind
+	Gamma  float64
+	// Dims is the categorical feature count d the kernel was built with.
+	Dims int
+	// HasKernel distinguishes a trained support set from the degenerate
+	// single-class model.
+	HasKernel bool
+	// SVRows holds the support vectors' categorical codes, row-major
+	// (len = NumSV × Dims).
+	SVRows []relational.Value
+	// SVAlphaY holds α_i·y_i per support vector.
+	SVAlphaY []float64
+	B        float64
+}
+
+// ExportParams snapshots the fitted support set (slices are copies).
+func (s *SVM) ExportParams() (Params, error) {
+	p := Params{Kernel: s.cfg.Kernel, Gamma: s.cfg.Gamma, B: s.b}
+	if s.kernel == nil {
+		// Fit stores a degenerate single-class model with kernel == nil; an
+		// SVM that was never fitted looks the same, so require Fit evidence.
+		if s.svRows != nil || s.svAlphaY != nil {
+			return Params{}, fmt.Errorf("svm: inconsistent degenerate state")
+		}
+		if s.b != 1 && s.b != -1 {
+			return Params{}, fmt.Errorf("svm: export before Fit")
+		}
+		return p, nil
+	}
+	p.HasKernel = true
+	p.Dims = s.kernel.dims
+	p.SVAlphaY = append([]float64(nil), s.svAlphaY...)
+	p.SVRows = make([]relational.Value, 0, len(s.svRows)*p.Dims)
+	for _, row := range s.svRows {
+		if len(row) != p.Dims {
+			return Params{}, fmt.Errorf("svm: support vector width %d != kernel dims %d", len(row), p.Dims)
+		}
+		p.SVRows = append(p.SVRows, row...)
+	}
+	return p, nil
+}
+
+// FromParams reconstructs a fitted SVM from an exported support set.
+func FromParams(p Params) (*SVM, error) {
+	s := &SVM{cfg: Config{Kernel: p.Kernel, C: 1, Gamma: p.Gamma}, b: p.B}
+	if !p.HasKernel {
+		if p.B != 1 && p.B != -1 {
+			return nil, fmt.Errorf("svm: degenerate model must store a class sign, got b=%v", p.B)
+		}
+		return s, nil
+	}
+	k, err := NewKernel(p.Kernel, p.Gamma, p.Dims)
+	if err != nil {
+		return nil, err
+	}
+	s.kernel = k
+	if p.Dims <= 0 || len(p.SVRows)%p.Dims != 0 {
+		return nil, fmt.Errorf("svm: support block of %d values is not a multiple of dims %d", len(p.SVRows), p.Dims)
+	}
+	nSV := len(p.SVRows) / p.Dims
+	if nSV != len(p.SVAlphaY) {
+		return nil, fmt.Errorf("svm: %d support rows but %d multipliers", nSV, len(p.SVAlphaY))
+	}
+	s.svAlphaY = append([]float64(nil), p.SVAlphaY...)
+	block := append([]relational.Value(nil), p.SVRows...)
+	s.svRows = make([][]relational.Value, nSV)
+	for i := range s.svRows {
+		s.svRows[i] = block[i*p.Dims : (i+1)*p.Dims : (i+1)*p.Dims]
+	}
+	return s, nil
+}
+
+// ExportLinear implements ml.LinearExporter for the linear kernel: the
+// decision Σ_i α_i y_i (x_i·x) + b over one-hot vectors folds into one
+// weight per (feature, value) pair, w[j,v] = Σ_{i: x_i[j]=v} α_i y_i —
+// which is what lets serving score without touching the support set. The
+// fold iterates support vectors in retention order, so an encode/decode
+// round trip exports bit-identical weights. Non-linear kernels return
+// ok == false; the degenerate single-class model exports zero weights with
+// the class sign as bias.
+func (s *SVM) ExportLinear(features []ml.Feature) (float64, []float64, bool) {
+	enc := ml.NewEncoder(features)
+	if s.kernel == nil {
+		if s.svRows == nil && (s.b == 1 || s.b == -1) {
+			return s.b, make([]float64, enc.Dims), true
+		}
+		return 0, nil, false
+	}
+	if s.cfg.Kernel != Linear || s.kernel.dims != len(features) {
+		return 0, nil, false
+	}
+	w := make([]float64, enc.Dims)
+	for i, row := range s.svRows {
+		ay := s.svAlphaY[i]
+		for j, v := range row {
+			w[enc.Index(j, v)] += ay
+		}
+	}
+	return s.b, w, true
+}

@@ -312,8 +312,23 @@ func (t *Tree) grow(ds *ml.Dataset, idx []int, rootImpurity float64, depth int) 
 	right := make([]int, 0, len(idx)-best.nLeft)
 	if t.batch != nil {
 		// Batch path: one gather of the winning feature column, then route.
+		// Wide nodes shard the gather's morsel ranges across the pool (each
+		// span writes a disjoint slice of vals); routing itself stays a
+		// sequential order-preserving pass, so the children's example order —
+		// and therefore the fitted tree — is identical at any worker count.
 		vals := t.batch.vals[:len(idx)]
-		ds.GatherFeature(vals, best.feature, idx)
+		if n := len(idx); n >= parallelSplitThreshold {
+			spans := ml.Parallelism((n + batchMorsel - 1) / batchMorsel)
+			ml.ParallelFor(spans, func(s int) {
+				lo, hi := n*s/spans, n*(s+1)/spans
+				for m := lo; m < hi; m += batchMorsel {
+					mh := min(m+batchMorsel, hi)
+					ds.GatherFeature(vals[m:mh], best.feature, idx[m:mh])
+				}
+			})
+		} else {
+			ds.GatherFeature(vals, best.feature, idx)
+		}
 		for k, i := range idx {
 			if best.goLeft[vals[k]] {
 				left = append(left, i)
