@@ -1,0 +1,57 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make check bench-gate` locally means
+# a green pipeline.
+
+# pipefail so `go test | tee` recipes fail when the test run fails, not just
+# when tee does.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# The benchmark pairs the regression gate watches: join pipeline, the five
+# row-vs-columnar learner pairs, and the serving paths.
+BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined))$$
+# Time-based benchtime so every bench accumulates several iterations per
+# sample — the nanosecond-scale Serve* benches get millions, the ~100ms Fit
+# benches get a handful — and -count 5 gives benchgate a median that shrugs
+# off scheduler spikes. The full sweep takes ~2 minutes on one core.
+BENCH_FLAGS = -run xxx -bench '$(BENCH_REGEX)' -benchtime 1s -count 5 -benchmem .
+
+.PHONY: check test bench bench-baseline bench-gate lint fuzz-smoke
+
+check: lint test
+
+test:
+	go build ./... && go test ./...
+
+bench:
+	go test $(BENCH_FLAGS)
+
+# bench-baseline refreshes the committed regression baseline. Run it on a
+# quiet machine after a deliberate performance change, commit the result, and
+# mention the change in the PR so reviewers know the bar moved. The absolute
+# ns/op comparison assumes baseline and gate run on comparable hardware —
+# refresh the baseline from a CI run's bench_current.txt artifact if the
+# runner class changes (the within-run pair-speedup check is
+# machine-independent either way).
+bench-baseline:
+	go test $(BENCH_FLAGS) | tee bench_baseline.txt
+
+# bench-gate reproduces CI's benchmark-regression gate: >20% median ns/op
+# regression on any gated benchmark vs bench_baseline.txt fails, as does a
+# run where no iterative learner shows >=1.5x columnar speedup.
+bench-gate:
+	go test $(BENCH_FLAGS) | tee bench_current.txt
+	go run ./cmd/benchgate -baseline bench_baseline.txt -current bench_current.txt
+
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	go vet ./...
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# fuzz-smoke executes the committed fuzz corpora plus a short randomized
+# burst for each fuzzer — the same step CI runs.
+fuzz-smoke:
+	go test ./internal/model -run xxx -fuzz 'FuzzCodecRoundTrip$$' -fuzztime 20s
+	go test ./internal/model -run xxx -fuzz 'FuzzDecodeGarbage$$' -fuzztime 20s
+	go test ./internal/relational -run xxx -fuzz 'FuzzColumnarEquivalence$$' -fuzztime 20s

@@ -18,9 +18,11 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/linear"
 	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/nb"
@@ -445,6 +447,115 @@ func BenchmarkTreeSplitRowAtATime(b *testing.B) { benchTreeFit(b, false) }
 
 // BenchmarkTreeSplitColumnar is the batched column-scan split search.
 func BenchmarkTreeSplitColumnar(b *testing.B) { benchTreeFit(b, true) }
+
+// --- Iterative-learner benchmarks: row-at-a-time vs columnar epochs. ---
+//
+// The iterative gradient learners re-read every feature every epoch, so the
+// columnar win compounds: one batched column pass per Fit (into the
+// active-index matrix / column block) replaces an n×d row-gather per epoch.
+
+// benchLogRegFit measures one logistic-regression Fit (30 SGD epochs) under
+// the per-example row gathers on the row engine vs the one-pass active-index
+// materialization on the columnar engine.
+func benchLogRegFit(b *testing.B, columnar bool) {
+	engine := core.EngineRow
+	if columnar {
+		engine = core.EngineColumnar
+	}
+	train := benchTrainSplit(b, engine)
+	cfg := linear.LogRegConfig{Lambda: 1e-3, Seed: 7, RowAtATime: !columnar}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := linear.NewLogReg(cfg)
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogRegFitRowAtATime is the historical epoch loop: one row gather
+// plus Encoder.ActiveIndices per example per epoch through the join view.
+func BenchmarkLogRegFitRowAtATime(b *testing.B) { benchLogRegFit(b, false) }
+
+// BenchmarkLogRegFitColumnar scans every feature once into the active-index
+// matrix and amortizes the pass over all epochs.
+func BenchmarkLogRegFitColumnar(b *testing.B) { benchLogRegFit(b, true) }
+
+// benchSVMFit measures one SMO Fit — row pinning plus the n×n kernel-cache
+// build plus the optimization loop — under per-row materialization and
+// row-pair match counts vs batched column scans and the morsel-parallel
+// columnar cache build.
+func benchSVMFit(b *testing.B, columnar bool) {
+	engine := core.EngineRow
+	if columnar {
+		engine = core.EngineColumnar
+	}
+	train := benchTrainSplit(b, engine)
+	cfg := svm.Config{
+		Kernel:       svm.RBF,
+		C:            10,
+		Gamma:        0.1,
+		SubsampleCap: envInt("REPRO_SVMCAP", 1024),
+		Seed:         7,
+		RowAtATime:   !columnar,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := svm.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMFitRowAtATime is the historical path: MaterializedRows plus a
+// sequential row-pair kernel cache.
+func BenchmarkSVMFitRowAtATime(b *testing.B) { benchSVMFit(b, false) }
+
+// BenchmarkSVMFitColumnar pulls each feature in one batched column scan and
+// builds the kernel cache from column-at-a-time match counts in parallel.
+func BenchmarkSVMFitColumnar(b *testing.B) { benchSVMFit(b, true) }
+
+// benchANNFit measures one MLP Fit (mini-batch Adam) under per-example row
+// gathers vs the one-pass active-index materialization. Network sizes match
+// the EffortFast grid so the bench isolates data access against a realistic
+// arithmetic load.
+func benchANNFit(b *testing.B, columnar bool) {
+	engine := core.EngineRow
+	if columnar {
+		engine = core.EngineColumnar
+	}
+	train := benchTrainSplit(b, engine)
+	cfg := ann.Config{
+		Hidden1:      32,
+		Hidden2:      16,
+		LearningRate: 1e-2,
+		Epochs:       10,
+		Seed:         7,
+		RowAtATime:   !columnar,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ann.New(cfg)
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkANNFitRowAtATime is the historical epoch loop: one row gather per
+// example per epoch.
+func BenchmarkANNFitRowAtATime(b *testing.B) { benchANNFit(b, false) }
+
+// BenchmarkANNFitColumnar feeds the sparse input layer from the one-pass
+// active-index matrix.
+func BenchmarkANNFitColumnar(b *testing.B) { benchANNFit(b, true) }
 
 // benchServeEngine trains Naive Bayes on the Movies JoinAll view, binds a
 // serving engine, and precomputes a request stream from the fact table —

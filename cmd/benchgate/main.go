@@ -1,0 +1,217 @@
+// Command benchgate is the CI benchmark-regression gate. It parses two `go
+// test -bench` output files — a committed baseline (refresh with `make
+// bench-baseline`) and the current run — and fails when
+//
+//  1. any gated benchmark's median ns/op regressed more than -max-regress
+//     (default 20%) against the baseline, or a gated baseline benchmark is
+//     missing from the current run; or
+//  2. none of the row-vs-columnar learner pairs named by -pairs shows the
+//     columnar path at least -min-speedup (default 1.5x) faster than the
+//     row path *within the current run* — the machine-independent check
+//     that the batched column training paths actually pay for themselves.
+//
+// Medians are taken across repetitions (`-count=N`), mirroring benchstat's
+// robustness to scheduler noise; run benchstat alongside for the
+// human-readable delta table.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultGate covers the storage-engine and serving pairs that guard the
+// repository's headline wins: join pipeline, NB fit, tree split search, and
+// the factorized serving path, plus the iterative-learner pairs.
+const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined))$`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "baseline go-bench output file (empty skips the regression check)")
+	currentPath := fs.String("current", "", "current go-bench output file (required)")
+	gate := fs.String("gate", defaultGate, "regexp of benchmark names the regression check gates")
+	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression vs baseline (0.20 = +20%)")
+	pairs := fs.String("pairs", "LogRegFit,SVMFit,ANNFit", "comma-separated Benchmark<name>{RowAtATime,Columnar} pairs for the speedup check (empty skips)")
+	minSpeedup := fs.Float64("min-speedup", 1.5, "required row/columnar speedup on at least one pair")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *currentPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate: %w", err)
+	}
+	current, err := parseBenchFile(*currentPath)
+	if err != nil {
+		return err
+	}
+
+	failures := 0
+	if *baselinePath != "" {
+		baseline, err := parseBenchFile(*baselinePath)
+		if err != nil {
+			return err
+		}
+		failures += checkRegressions(out, baseline, current, gateRE, *maxRegress)
+	}
+	if *pairs != "" {
+		ok, err := checkPairSpeedup(out, current, strings.Split(*pairs, ","), *minSpeedup)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d gate(s) failed", failures)
+	}
+	fmt.Fprintln(out, "benchgate: all gates passed")
+	return nil
+}
+
+// checkRegressions compares median ns/op of every gated baseline benchmark
+// against the current run and returns the number of violations. Gated
+// benchmarks that appear only in the current run are reported as warnings:
+// they have no bar to clear, which usually means the committed baseline
+// needs a refresh after adding a pair.
+func checkRegressions(out io.Writer, baseline, current map[string][]float64, gate *regexp.Regexp, maxRegress float64) int {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		if gate.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var ungated []string
+	for name := range current {
+		if gate.MatchString(name) {
+			if _, ok := baseline[name]; !ok {
+				ungated = append(ungated, name)
+			}
+		}
+	}
+	sort.Strings(ungated)
+	for _, name := range ungated {
+		fmt.Fprintf(out, "warn %s: gated name missing from baseline — ungated until `make bench-baseline` is rerun\n", name)
+	}
+	bad := 0
+	for _, name := range names {
+		base := median(baseline[name])
+		cur, ok := current[name]
+		if !ok {
+			fmt.Fprintf(out, "FAIL %s: present in baseline but missing from current run\n", name)
+			bad++
+			continue
+		}
+		c := median(cur)
+		ratio := c / base
+		status := "ok  "
+		if ratio > 1+maxRegress {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Fprintf(out, "%s %s: %.0f -> %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			status, name, base, c, (ratio-1)*100, maxRegress*100)
+	}
+	return bad
+}
+
+// checkPairSpeedup requires at least one Benchmark<pair>Columnar to be
+// minSpeedup faster than its Benchmark<pair>RowAtATime sibling within the
+// same run.
+func checkPairSpeedup(out io.Writer, current map[string][]float64, pairs []string, minSpeedup float64) (bool, error) {
+	best := 0.0
+	for _, p := range pairs {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		rowName := "Benchmark" + p + "RowAtATime"
+		colName := "Benchmark" + p + "Columnar"
+		row, okRow := current[rowName]
+		col, okCol := current[colName]
+		if !okRow || !okCol {
+			return false, fmt.Errorf("pair %s: %s or %s missing from current run", p, rowName, colName)
+		}
+		speedup := median(row) / median(col)
+		if speedup > best {
+			best = speedup
+		}
+		fmt.Fprintf(out, "pair %s: columnar %.2fx vs row\n", p, speedup)
+	}
+	if best < minSpeedup {
+		fmt.Fprintf(out, "FAIL pairs: best columnar speedup %.2fx < required %.2fx\n", best, minSpeedup)
+		return false, nil
+	}
+	return true, nil
+}
+
+func parseBenchFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return m, nil
+}
+
+// parseBench reads `go test -bench` output: one sample per result line,
+// keyed by the benchmark name with its -GOMAXPROCS suffix stripped so
+// baselines recorded at different core counts still compare.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in line %q: %w", sc.Text(), err)
+		}
+		out[name] = append(out[name], v)
+	}
+	return out, sc.Err()
+}
+
+// median of a non-empty sample set (mean of the middle two when even).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

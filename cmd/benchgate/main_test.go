@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineText = `goos: linux
+cpu: whatever
+BenchmarkNBFitRowAtATime-8    	      10	  1000000 ns/op	  100 B/op	 1 allocs/op
+BenchmarkNBFitRowAtATime-8    	      10	  1200000 ns/op	  100 B/op	 1 allocs/op
+BenchmarkNBFitRowAtATime-8    	      10	  1100000 ns/op	  100 B/op	 1 allocs/op
+BenchmarkNBFitColumnar-8      	      10	   300000 ns/op	  100 B/op	 1 allocs/op
+BenchmarkServeFactorized-8    	     100	      500 ns/op	    0 B/op	 0 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchMediansAndSuffixStripping(t *testing.T) {
+	m, err := parseBench(strings.NewReader(baselineText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := median(m["BenchmarkNBFitRowAtATime"]); got != 1100000 {
+		t.Fatalf("median = %v, want 1100000", got)
+	}
+	if got := median(m["BenchmarkServeFactorized"]); got != 500 {
+		t.Fatalf("serve median = %v", got)
+	}
+	if _, ok := m["BenchmarkNBFitRowAtATime-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix must be stripped")
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := writeTemp(t, "base.txt", baselineText)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkNBFitRowAtATime-4    	      10	  1150000 ns/op
+BenchmarkNBFitColumnar-4      	      10	   310000 ns/op
+BenchmarkServeFactorized-4    	     100	      510 ns/op
+BenchmarkLogRegFitRowAtATime-4	      10	  2000000 ns/op
+BenchmarkLogRegFitColumnar-4  	      10	  1000000 ns/op
+BenchmarkSVMFitRowAtATime-4   	      10	  1000000 ns/op
+BenchmarkSVMFitColumnar-4     	      10	  1000000 ns/op
+BenchmarkANNFitRowAtATime-4   	      10	  1000000 ns/op
+BenchmarkANNFitColumnar-4     	      10	  1000000 ns/op
+`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &sb); err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "pair LogRegFit: columnar 2.00x") {
+		t.Fatalf("missing pair report:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeTemp(t, "base.txt", baselineText)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkNBFitRowAtATime    	      10	  2000000 ns/op
+BenchmarkNBFitColumnar      	      10	   310000 ns/op
+BenchmarkServeFactorized    	     100	      500 ns/op
+`)
+	var sb strings.Builder
+	err := run([]string{"-baseline", base, "-current", cur, "-pairs", ""}, &sb)
+	if err == nil {
+		t.Fatalf("gate must fail on an 82%% regression:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL BenchmarkNBFitRowAtATime") {
+		t.Fatalf("missing failure line:\n%s", sb.String())
+	}
+}
+
+func TestGateWarnsOnCurrentOnlyBenchmark(t *testing.T) {
+	base := writeTemp(t, "base.txt", baselineText)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkNBFitRowAtATime    	      10	  1000000 ns/op
+BenchmarkNBFitColumnar      	      10	   300000 ns/op
+BenchmarkServeFactorized    	     100	      500 ns/op
+BenchmarkTreeSplitColumnar  	      10	   100000 ns/op
+`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur, "-pairs", ""}, &sb); err != nil {
+		t.Fatalf("current-only benchmark must warn, not fail: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "warn BenchmarkTreeSplitColumnar") {
+		t.Fatalf("missing ungated warning:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := writeTemp(t, "base.txt", baselineText)
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkNBFitRowAtATime    	      10	  1000000 ns/op
+BenchmarkServeFactorized    	     100	      500 ns/op
+`)
+	var sb strings.Builder
+	err := run([]string{"-baseline", base, "-current", cur, "-pairs", ""}, &sb)
+	if err == nil || !strings.Contains(sb.String(), "missing from current run") {
+		t.Fatalf("gate must fail on missing benchmark (err %v):\n%s", err, sb.String())
+	}
+}
+
+func TestGateFailsWithoutPairSpeedup(t *testing.T) {
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkLogRegFitRowAtATime	      10	  1000000 ns/op
+BenchmarkLogRegFitColumnar  	      10	   900000 ns/op
+BenchmarkSVMFitRowAtATime   	      10	  1000000 ns/op
+BenchmarkSVMFitColumnar     	      10	  1000000 ns/op
+BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
+BenchmarkANNFitColumnar     	      10	  1100000 ns/op
+`)
+	var sb strings.Builder
+	err := run([]string{"-current", cur}, &sb)
+	if err == nil || !strings.Contains(sb.String(), "FAIL pairs") {
+		t.Fatalf("pair gate must fail at 1.11x best speedup (err %v):\n%s", err, sb.String())
+	}
+}
+
+func TestPairGateErrorsOnMissingSibling(t *testing.T) {
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkLogRegFitRowAtATime	      10	  1000000 ns/op
+`)
+	var sb strings.Builder
+	if err := run([]string{"-current", cur, "-pairs", "LogRegFit"}, &sb); err == nil {
+		t.Fatal("missing columnar sibling must error")
+	}
+}
+
+func TestCurrentRequired(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("-current must be required")
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hamlet -table 2 [-scale 64] [-effort fast|full] [-svmcap 400] [-seed 1] [-engine row|col]
+//	hamlet -table 2 [-scale 64] [-effort fast|full] [-svmcap 400] [-seed 1] [-engine col|row]
 //	hamlet -figure 1
 //	hamlet -all
 //
@@ -51,7 +51,7 @@ func run(args []string) error {
 	effort := fs.String("effort", "fast", "hyper-parameter grids: fast or full (paper-exact)")
 	svmCap := fs.Int("svmcap", 400, "SMO training-set cap (0 = unbounded)")
 	seed := fs.Uint64("seed", 1, "random seed")
-	engine := fs.String("engine", "row", "storage engine for experiment data: row (zero-copy join view) or col (columnar)")
+	engine := fs.String("engine", "col", "storage engine for experiment data: col (columnar, the default) or row (zero-copy join view)")
 	csvOut := fs.String("csv", "", "also export accuracy cells (tables 2/3/5/6) as CSV to this path")
 	jsonOut := fs.String("json", "", "also export accuracy cells as JSON to this path")
 	serving := fs.Bool("serving", false, "run the serving study: factorized vs per-request-join inference timings")

@@ -35,6 +35,14 @@ type Config struct {
 	BatchSize int
 	// Seed drives weight init and shuffling.
 	Seed uint64
+	// RowAtATime forces the historical example-at-a-time access path (one
+	// row gather + Encoder.ActiveIndices per example per epoch) instead of
+	// the batched column-at-a-time path, which scans every feature once per
+	// Fit into a dense active-index matrix and amortizes that pass over all
+	// epochs. Forward/backward arithmetic is unchanged, so the fitted
+	// network is bit-identical; the flag exists for A/B benchmarks and
+	// equivalence tests.
+	RowAtATime bool
 }
 
 func (c *Config) fillDefaults() {
@@ -101,6 +109,14 @@ func New(cfg Config) *MLP {
 func (m *MLP) Name() string { return "ANN(MLP)" }
 
 // Fit trains the network with mini-batch Adam.
+//
+// Feature access runs column-at-a-time by default: ml.ScanActiveIndices
+// scans every feature once per Fit ((feature, span) tasks fanned across
+// ml.ParallelFor) into a dense active-index matrix, and every epoch's
+// forward/backward passes index that matrix instead of re-gathering each
+// example's row — the sparse input layer only ever needs the active one-hot
+// indices. The arithmetic and its order are unchanged, so the fitted network
+// is bit-identical to the historical path, which Config.RowAtATime restores.
 func (m *MLP) Fit(train *ml.Dataset) error {
 	if train.NumExamples() == 0 {
 		return fmt.Errorf("ann: empty training set")
@@ -143,6 +159,11 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 		order[i] = i
 	}
 
+	// exampleAt yields example ei's active one-hot indices and label: slices
+	// of the one-pass materialization by default, per-call scratch-row
+	// gathers on the row path.
+	exampleAt := ml.ExampleAccessor(train, m.enc, m.cfg.RowAtATime)
+
 	// Gradient accumulators reused across batches.
 	gW2 := make([]float64, h1*h2)
 	gB2 := make([]float64, h2)
@@ -152,7 +173,6 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 	z2 := make([]float64, h2)
 	d1 := make([]float64, h1)
 	d2 := make([]float64, h2)
-	idx := make([]int, d)
 	// Sparse input-layer gradient: one row per active index per example.
 	type sparseGrad struct {
 		row  int
@@ -181,12 +201,11 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 			gB3 := 0.0
 			var sparse []sparseGrad
 			for _, ei := range order[at:end] {
-				row := train.Row(ei)
-				m.enc.ActiveIndices(row, idx)
+				idx, y := exampleAt(ei)
 				// Forward.
 				copy(z1, m.b1)
 				for _, k := range idx {
-					w := m.w1[k*h1 : (k+1)*h1]
+					w := m.w1[int(k)*h1 : (int(k)+1)*h1]
 					for u := range z1 {
 						z1[u] += w[u]
 					}
@@ -217,7 +236,6 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 					z3 += z2[v] * m.w3[v]
 				}
 				p := sigmoid(z3)
-				y := float64(train.Label(ei))
 				g3 := (p - y) / bs // dL/dz3, batch-averaged
 
 				// Backward.
@@ -262,7 +280,7 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 				g := make([]float64, h1)
 				copy(g, d1)
 				for _, k := range idx {
-					sparse = append(sparse, sparseGrad{row: k, grad: g})
+					sparse = append(sparse, sparseGrad{row: int(k), grad: g})
 				}
 			}
 			// Adam updates.

@@ -163,6 +163,57 @@ func TestL2ShrinksWeights(t *testing.T) {
 	}
 }
 
+func TestColumnarMatchesRowPath(t *testing.T) {
+	// The columnar epoch path (one ScanFeature pass into the active-index
+	// matrix) must produce a bit-identical network to the historical
+	// example-at-a-time gathers: identical indices and labels feed an
+	// unchanged forward/backward sequence.
+	r := rng.New(41)
+	base := &ml.Dataset{Features: feats(2, 5, 3)}
+	for i := 0; i < 400; i++ {
+		a, b, c := r.Intn(2), r.Intn(5), r.Intn(3)
+		base.X = append(base.X, relational.Value(a), relational.Value(b), relational.Value(c))
+		base.Y = append(base.Y, int8((a+c)%2))
+	}
+	sub := make([]int, 250)
+	for i := range sub {
+		sub[i] = r.Intn(400)
+	}
+	for name, ds := range map[string]*ml.Dataset{"dense": base, "view": base.Subset(sub)} {
+		cfg := smallCfg(43)
+		rowCfg := cfg
+		rowCfg.RowAtATime = true
+		row, col := New(rowCfg), New(cfg)
+		if err := row.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		if row.b3 != col.b3 {
+			t.Fatalf("%s: output bias diverged: %v vs %v", name, row.b3, col.b3)
+		}
+		for layer, pair := range map[string][2][]float64{
+			"w1": {row.w1, col.w1}, "b1": {row.b1, col.b1},
+			"w2": {row.w2, col.w2}, "b2": {row.b2, col.b2},
+			"w3": {row.w3, col.w3},
+		} {
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("%s: %s[%d] diverged: %v vs %v", name, layer, i, pair[0][i], pair[1][i])
+				}
+			}
+		}
+		buf := make([]relational.Value, ds.NumFeatures())
+		for i := 0; i < ds.NumExamples(); i++ {
+			rowi := ds.RowInto(buf, i)
+			if row.Probability(rowi) != col.Probability(rowi) {
+				t.Fatalf("%s: probability diverged on example %d", name, i)
+			}
+		}
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	m := New(Config{})
 	if m.cfg.Hidden1 != 256 || m.cfg.Hidden2 != 64 {

@@ -102,21 +102,26 @@ func Advise(ss *relational.StarSchema, f Family) ([]Advice, error) {
 // Engine selects the physical storage strategy an experiment Env reads its
 // joined relation through. All engines produce bit-identical experiment
 // results (same split permutation, same cell values); they differ in memory
-// layout and therefore in which access pattern is fast.
+// layout and therefore in which access pattern is fast. The zero value is
+// EngineColumnar: with every learner training column-at-a-time (NB, tree,
+// logreg, SVM, ANN), sequential narrow-column scans are the hot access
+// pattern, so columnar storage is the default engine.
 type Engine int
 
 const (
-	// EngineRow is the factorized default: the join stays a zero-copy
+	// EngineColumnar (the default) evaluates the join once into a
+	// width-narrowed struct-of-arrays ColumnarTable. It trades one
+	// O(n_S · width) materialization pass (into storage that is typically
+	// *smaller* than the fact table's row-major block, since dictionary
+	// codes narrow to uint8/uint16) for sequential single-column scans on
+	// the learners' batch training path.
+	EngineColumnar Engine = iota
+	// EngineRow keeps the factorized zero-copy pipeline: the join stays a
 	// JoinView over the row-major base tables, nothing is materialized, and
-	// cell accesses resolve the FK indirection lazily.
-	EngineRow Engine = iota
-	// EngineColumnar evaluates the join once into a width-narrowed
-	// struct-of-arrays ColumnarTable. It trades one O(n_S · width)
-	// materialization pass (into storage that is typically *smaller* than
-	// the fact table's row-major block, since dictionary codes narrow to
-	// uint8/uint16) for sequential single-column scans on the learners'
-	// batch training path.
-	EngineColumnar
+	// cell accesses resolve the FK indirection lazily. It remains the right
+	// choice when data is scanned only a bounded number of times and the
+	// one-time columnar materialization would dominate.
+	EngineRow
 )
 
 func (e Engine) String() string {
@@ -138,19 +143,20 @@ func ParseEngine(s string) (Engine, error) {
 	case "col", "columnar":
 		return EngineColumnar, nil
 	default:
-		return EngineRow, fmt.Errorf("core: unknown storage engine %q (want row or col)", s)
+		return EngineColumnar, fmt.Errorf("core: unknown storage engine %q (want row or col)", s)
 	}
 }
 
 // Env is a dataset prepared for experiments: the (factorized) join of a
 // star schema and the paper's fixed 50/25/25 train/validation/test split of
-// it. Since the zero-copy refactor Joined is a relational.JoinView by
-// default — the joined table never exists physically; the split parts are
-// index views over it and the ml datasets carved from them resolve feature
-// accesses through the FK indirection. NewEnvColumnar instead materializes
-// the join into columnar storage (see Engine); NewEnvMaterialized restores
-// the historical eager row-major pipeline. All three yield bit-identical
-// results.
+// it. Since the columnar flip Joined is a relational.ColumnarTable by
+// default — the factorized join is evaluated once into width-narrowed
+// struct-of-arrays storage; the split parts are index views over it and
+// every batched ScanFeature a learner issues bottoms out in a sequential
+// scan of one narrow column. NewEnvRow keeps the zero-copy JoinView pipeline
+// (the joined table never exists physically, FK indirection resolves per
+// access); NewEnvMaterialized restores the historical eager row-major
+// pipeline. All three yield bit-identical results.
 type Env struct {
 	Star      *relational.StarSchema
 	Joined    relational.Relation
@@ -158,10 +164,17 @@ type Env struct {
 	Split     relational.Split
 }
 
-// NewEnv builds the factorized join view over the star schema and splits it
-// lazily. The split is seeded and retained, mirroring the paper's
+// NewEnv prepares the experiment Env on the default storage engine
+// (EngineColumnar). The split is seeded and retained, mirroring the paper's
 // "pre-split, retained as is" protocol.
 func NewEnv(ss *relational.StarSchema, seed uint64) (*Env, error) {
+	return NewEnvColumnar(ss, seed)
+}
+
+// NewEnvRow builds the factorized zero-copy pipeline: the join stays a
+// relational.JoinView and the lazy split views sit directly on it, so no
+// joined storage of any layout is ever materialized.
+func NewEnvRow(ss *relational.StarSchema, seed uint64) (*Env, error) {
 	joined, err := relational.NewJoinView(ss)
 	if err != nil {
 		return nil, err
@@ -169,10 +182,10 @@ func NewEnv(ss *relational.StarSchema, seed uint64) (*Env, error) {
 	return newEnvOver(ss, joined, seed)
 }
 
-// NewEnvColumnar is NewEnv on the columnar storage engine: the factorized
-// join is evaluated once into a relational.ColumnarTable and the lazy split
-// views sit on top of it, so every ScanFeature a learner issues bottoms out
-// in a sequential scan of one narrow column vector.
+// NewEnvColumnar builds the Env on the columnar storage engine: the
+// factorized join is evaluated once into a relational.ColumnarTable and the
+// lazy split views sit on top of it, so every ScanFeature a learner issues
+// bottoms out in a sequential scan of one narrow column vector.
 func NewEnvColumnar(ss *relational.StarSchema, seed uint64) (*Env, error) {
 	jv, err := relational.NewJoinView(ss)
 	if err != nil {
@@ -186,10 +199,10 @@ func NewEnvColumnar(ss *relational.StarSchema, seed uint64) (*Env, error) {
 // -engine flag plugs into.
 func NewEnvEngine(ss *relational.StarSchema, seed uint64, engine Engine) (*Env, error) {
 	switch engine {
-	case EngineColumnar:
-		return NewEnvColumnar(ss, seed)
+	case EngineRow:
+		return NewEnvRow(ss, seed)
 	default:
-		return NewEnv(ss, seed)
+		return NewEnvColumnar(ss, seed)
 	}
 }
 

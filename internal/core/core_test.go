@@ -354,7 +354,7 @@ func TestFactorizedPipelineMatchesMaterialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lazy, err := NewEnv(ss, 7)
+	lazy, err := NewEnvRow(ss, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,5 +508,87 @@ func TestParseEngine(t *testing.T) {
 	}
 	if EngineRow.String() != "row" || EngineColumnar.String() != "col" {
 		t.Fatalf("engine names: %v %v", EngineRow, EngineColumnar)
+	}
+}
+
+func TestColumnarIsDefaultEngine(t *testing.T) {
+	// The default flip: the Engine zero value, NewEnv, and NewEnvEngine's
+	// fallback must all select columnar storage; NewEnvRow keeps the
+	// zero-copy join view.
+	if Engine(0) != EngineColumnar {
+		t.Fatal("Engine zero value must be EngineColumnar")
+	}
+	spec, err := dataset.SpecByName("Walmart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(ss, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env.Joined.(*relational.ColumnarTable); !ok {
+		t.Fatalf("NewEnv joined is %T, want *relational.ColumnarTable", env.Joined)
+	}
+	rowEnv, err := NewEnvRow(ss, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rowEnv.Joined.(*relational.JoinView); !ok {
+		t.Fatalf("NewEnvRow joined is %T, want *relational.JoinView", rowEnv.Joined)
+	}
+}
+
+// TestIterativeLearnersEngineEquivalence is the acceptance check for the
+// columnar epoch paths: the three newly-columnar iterative learners (logreg
+// SGD, SMO, the MLP) must produce bit-identical accuracies and grid winners
+// on the row and columnar engines across the Flights/Yelp/Expedia schema
+// shapes (three dims with pairs sweep, two closed FKs, an open FK).
+func TestIterativeLearnersEngineEquivalence(t *testing.T) {
+	for dsName, scale := range map[string]int{"Flights": 192, "Yelp": 320, "Expedia": 512} {
+		spec, err := dataset.SpecByName(dsName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := dataset.Generate(spec, scale, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := NewEnvEngine(ss, 7, EngineRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := NewEnvEngine(ss, 7, EngineColumnar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mspec := range []Spec{
+			LogRegSpec(EffortFast),
+			SVMSpec(svm.Linear, EffortFast, 120),
+			ANNSpec(EffortFast),
+		} {
+			rres, err := Run(row, ml.JoinAll, mspec, 11)
+			if err != nil {
+				t.Fatalf("%s row %s: %v", dsName, mspec.Name, err)
+			}
+			cres, err := Run(col, ml.JoinAll, mspec, 11)
+			if err != nil {
+				t.Fatalf("%s col %s: %v", dsName, mspec.Name, err)
+			}
+			if rres.TestAcc != cres.TestAcc || rres.TrainAcc != cres.TrainAcc || rres.ValAcc != cres.ValAcc {
+				t.Fatalf("%s %s diverged across engines: row (test %v train %v val %v) vs col (test %v train %v val %v)",
+					dsName, mspec.Name, rres.TestAcc, rres.TrainAcc, rres.ValAcc,
+					cres.TestAcc, cres.TrainAcc, cres.ValAcc)
+			}
+			for k, pv := range rres.BestPoint {
+				if cres.BestPoint[k] != pv {
+					t.Fatalf("%s %s picked different grid points: %v vs %v",
+						dsName, mspec.Name, rres.BestPoint, cres.BestPoint)
+				}
+			}
+		}
 	}
 }

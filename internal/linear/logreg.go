@@ -31,6 +31,14 @@ type LogRegConfig struct {
 	LearningRate float64
 	// Seed drives example shuffling.
 	Seed uint64
+	// RowAtATime forces the historical example-at-a-time access path (one
+	// RowInto gather per example per epoch) instead of the batched
+	// column-at-a-time path, which scans every feature once per Fit into a
+	// dense active-index matrix and amortizes that one pass over all epochs.
+	// The two paths run the identical update sequence on identical index
+	// values, so the models are bit-identical; the flag exists for A/B
+	// benchmarks and equivalence tests.
+	RowAtATime bool
 }
 
 // LogReg is an L1-regularized logistic regression classifier.
@@ -58,6 +66,14 @@ func (m *LogReg) Name() string { return "LogisticRegression(L1)" }
 // Fit trains with proximal stochastic gradient descent: a plain logistic
 // gradient step followed by the soft-thresholding proximal operator of the
 // L1 penalty.
+//
+// Feature access runs column-at-a-time by default: every feature is scanned
+// once per Fit (ml.ScanActiveIndices, (feature, span) tasks fanned across
+// ml.ParallelFor) into a dense active-index matrix, and the epochs index that
+// matrix instead of re-paying a row gather per example per epoch — SGD
+// re-reads every feature every epoch, exactly the access pattern one column
+// pass amortizes. The update sequence is unchanged, so the fitted model is
+// bit-identical to the historical path, which Config.RowAtATime restores.
 func (m *LogReg) Fit(train *ml.Dataset) error {
 	if train.NumExamples() == 0 {
 		return fmt.Errorf("linear: empty training set")
@@ -66,26 +82,28 @@ func (m *LogReg) Fit(train *ml.Dataset) error {
 	m.w = make([]float64, m.enc.Dims)
 	m.b = 0
 	n := train.NumExamples()
-	d := train.NumFeatures()
 	r := rng.New(m.cfg.Seed)
-	idx := make([]int, d)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
+
+	// exampleAt yields example i's active one-hot indices and label: slices
+	// of the one-pass materialization by default, per-call scratch-row
+	// gathers on the row path.
+	exampleAt := ml.ExampleAccessor(train, m.enc, m.cfg.RowAtATime)
+
 	step := m.cfg.LearningRate
 	t := 1.0
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		r.ShuffleInts(order)
 		for _, i := range order {
-			row := train.Row(i)
-			m.enc.ActiveIndices(row, idx)
+			idx, y := exampleAt(i)
 			z := m.b
 			for _, k := range idx {
 				z += m.w[k]
 			}
 			p := sigmoid(z)
-			y := float64(train.Label(i))
 			g := p - y // d(loss)/dz
 			eta := step / math.Sqrt(t)
 			t++

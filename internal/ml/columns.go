@@ -1,0 +1,125 @@
+package ml
+
+import "repro/internal/relational"
+
+// columnMorsel is the chunk size of one ScanFeature step on the learners'
+// column-materialization path: large enough to amortize the per-morsel
+// interface call into the storage engine, small enough that the value buffer
+// (8 KiB) stays cache-resident. It matches the morsel the NB batch counter
+// uses.
+const columnMorsel = 2048
+
+// columnSpans shards n examples across the pool: every (feature, span) pair
+// becomes one independent task, so narrow feature sets still saturate the
+// workers. Spans are whole-morsel multiples of 1/spans of the range.
+func columnSpans(n, d int) int {
+	spans := Parallelism(d * ((n + columnMorsel - 1) / columnMorsel))
+	if spans < 1 {
+		spans = 1
+	}
+	return spans
+}
+
+// forEachFeatureSpan is the shared fan-out skeleton of the one-pass
+// materializers: (feature, span) tasks spread across ml.ParallelFor, each
+// consuming its span of one feature in morsel-sized ScanFeature batches and
+// handing every cell to write(example, feature, value). Callers write
+// disjoint destination cells per (example, feature), so the fan-out is
+// deterministic regardless of scheduling.
+func forEachFeatureSpan(d *Dataset, write func(i, j int, v relational.Value)) {
+	n := d.NumExamples()
+	k := d.NumFeatures()
+	spans := columnSpans(n, k)
+	ParallelFor(k*spans, func(task int) {
+		j, s := task/spans, task%spans
+		lo, hi := n*s/spans, n*(s+1)/spans
+		if lo == hi {
+			return
+		}
+		buf := make([]relational.Value, min(columnMorsel, hi-lo))
+		for from := lo; from < hi; {
+			m := d.ScanFeature(buf[:min(len(buf), hi-from)], j, from)
+			for i := 0; i < m; i++ {
+				write(from+i, j, buf[i])
+			}
+			from += m
+		}
+	})
+}
+
+// ScanRowMajor materializes the dataset into one dense row-major block
+// (example i's row is block[i*k : (i+1)*k]) plus the label vector,
+// consuming each feature column-at-a-time through morsel-sized ScanFeature
+// batches — the one-pass cache the learners that must read two rows at a
+// time (SMO's kernel loops, the retained support set) amortize over their
+// epochs. Compared with Dataset.Materialize it replaces n×k single-cell
+// view accesses with k batched column scans pushed down into the storage
+// engine, and it needs no transient column copy: every value scatters
+// straight into its row slot.
+//
+// (feature, span) tasks fan out across ml.ParallelFor (forEachFeatureSpan);
+// every task writes a disjoint set of block cells, so the result is
+// deterministic regardless of scheduling and bit-identical to a sequential
+// pass.
+func ScanRowMajor(d *Dataset) (block []relational.Value, labels []int8) {
+	n := d.NumExamples()
+	k := d.NumFeatures()
+	block = make([]relational.Value, n*k)
+	forEachFeatureSpan(d, func(i, j int, v relational.Value) {
+		block[i*k+j] = v
+	})
+	labels = make([]int8, n)
+	d.ScanLabels(labels, 0)
+	return block, labels
+}
+
+// ExampleAccessor returns a closure yielding example i's active one-hot
+// indices and label — the access seam the embedding-style learners (logreg
+// SGD, the MLP's sparse input layer) run their epochs through. With
+// rowAtATime false it materializes the active-index matrix once via
+// ScanActiveIndices and serves slices of it; with rowAtATime true it
+// gathers through a private scratch row per call (the historical path).
+// Both forms yield identical values, so a learner switching between them
+// trains bit-identically. The returned closure reuses internal buffers and
+// must stay on one goroutine; the indices are valid until the next call.
+func ExampleAccessor(d *Dataset, enc *Encoder, rowAtATime bool) func(i int) ([]int32, float64) {
+	k := d.NumFeatures()
+	if rowAtATime {
+		rowBuf := make([]relational.Value, k)
+		idx := make([]int32, k)
+		return func(i int) ([]int32, float64) {
+			row := d.RowInto(rowBuf, i)
+			for j, v := range row {
+				idx[j] = int32(enc.Index(j, v))
+			}
+			return idx, float64(d.Label(i))
+		}
+	}
+	idxMat, labels := ScanActiveIndices(d, enc)
+	return func(i int) ([]int32, float64) {
+		return idxMat[i*k : (i+1)*k], float64(labels[i])
+	}
+}
+
+// ScanActiveIndices materializes the one-hot active-index matrix of the
+// dataset — idx[i*d+j] = enc.Index(j, At(i, j)) — plus the label vector,
+// consuming each feature column-at-a-time through ScanFeature. The matrix is
+// what the embedding-style learners (logistic regression, the MLP's sparse
+// input layer) index their weight tables with; materializing it once per Fit
+// replaces the per-example Row gather + Encoder.ActiveIndices call every
+// epoch re-pays on the row-at-a-time path.
+//
+// Like ScanRowMajor it fans (feature, span) tasks across ml.ParallelFor
+// with disjoint writes, so the result is deterministic and bit-identical to
+// a sequential pass.
+func ScanActiveIndices(d *Dataset, enc *Encoder) (idx []int32, labels []int8) {
+	n := d.NumExamples()
+	k := d.NumFeatures()
+	idx = make([]int32, n*k)
+	forEachFeatureSpan(d, func(i, j int, v relational.Value) {
+		idx[i*k+j] = int32(enc.Offsets[j]) + int32(v)
+	})
+	labels = make([]int8, n)
+	d.ScanLabels(labels, 0)
+	return idx, labels
+}

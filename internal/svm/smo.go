@@ -30,6 +30,13 @@ type Config struct {
 	SubsampleCap int
 	// Seed drives SMO's second-multiplier randomization and subsampling.
 	Seed uint64
+	// RowAtATime forces the historical access path: rows pinned one at a
+	// time through MaterializedRows and the kernel cache built from
+	// row-pair match counts. The default consumes features column-at-a-time
+	// (one batched scan per feature, morsel-parallel cache build); both
+	// paths produce bit-identical models — the flag exists for A/B
+	// benchmarks and equivalence tests.
+	RowAtATime bool
 }
 
 // SVM is a kernel support vector classifier. Construct with New, then Fit.
@@ -77,11 +84,31 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	n := ds.NumExamples()
 	d := ds.NumFeatures()
 
-	// Pin every training row once. For contiguous datasets this aliases
-	// storage (no copy); for view-backed datasets it is the single
-	// materialization SMO pays, needed because the kernel loops read two
-	// rows at a time and the support set must outlive Fit.
-	rows := ds.MaterializedRows()
+	// Pin every training row once — the kernel loops read two rows at a
+	// time and the support set must outlive Fit. On the default columnar
+	// path every feature is pulled in one batched column scan scattered
+	// straight into the row-major block (ml.ScanRowMajor; under a
+	// subsample view the scan bottoms out in the relation's column
+	// gather), replacing n×d single-cell view accesses with d sequential
+	// scans. Config.RowAtATime restores the historical per-row
+	// materialization; cell values are identical either way.
+	columnar := !s.cfg.RowAtATime
+	var rows [][]relational.Value
+	var labels []int8
+	if columnar {
+		block, l := ml.ScanRowMajor(ds)
+		labels = l
+		rows = make([][]relational.Value, n)
+		for i := range rows {
+			rows[i] = block[i*d : (i+1)*d : (i+1)*d]
+		}
+	} else {
+		rows = ds.MaterializedRows()
+		labels = make([]int8, n)
+		for i := range labels {
+			labels[i] = ds.Label(i)
+		}
+	}
 
 	k, err := NewKernel(s.cfg.Kernel, s.cfg.Gamma, d)
 	if err != nil {
@@ -92,7 +119,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	y := make([]float64, n)
 	allSame := true
 	for i := 0; i < n; i++ {
-		if ds.Label(i) == 1 {
+		if labels[i] == 1 {
 			y[i] = 1
 		} else {
 			y[i] = -1
@@ -122,7 +149,31 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	// after capping) a full n×n cache is affordable and much faster.
 	var kcache []float32
 	cacheOK := n <= 4096
-	if cacheOK {
+	switch {
+	case cacheOK && columnar:
+		// Batch-path cache build: rows of the (symmetric) cache fan out
+		// across ml.ParallelFor — task i owns the strict upper triangle of
+		// row i, a disjoint write range, so the build is deterministic
+		// regardless of scheduling, and the mirror pass below fills the
+		// lower triangle. Each entry evaluates the identical float
+		// expression the sequential build evaluates on identical rows (the
+		// transpose of the one-pass column scan), so the cache is
+		// bit-identical to the row path's.
+		kcache = make([]float32, n*n)
+		ml.ParallelFor(n, func(i int) {
+			krow := kcache[i*n : (i+1)*n]
+			ri := rows[i]
+			for j := i + 1; j < n; j++ {
+				krow[j] = float32(k.Eval(ri, rows[j]))
+			}
+			krow[i] = float32(k.Self())
+		})
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				kcache[j*n+i] = kcache[i*n+j]
+			}
+		}
+	case cacheOK:
 		kcache = make([]float32, n*n)
 		for i := 0; i < n; i++ {
 			kcache[i*n+i] = float32(k.Self())
