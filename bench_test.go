@@ -27,6 +27,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/nb"
 	"repro/internal/relational"
+	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/svm"
@@ -557,6 +558,50 @@ func BenchmarkANNFitRowAtATime(b *testing.B) { benchANNFit(b, false) }
 // active-index matrix.
 func BenchmarkANNFitColumnar(b *testing.B) { benchANNFit(b, true) }
 
+// benchKernelCache measures one n×n SVM Gram-matrix build at the SVMFit
+// bench scale — the dominant arithmetic of a capped SMO fit — as the per-pair
+// scalar build (one Kernel.Eval call per row pair) vs the blocked compute
+// kernel (mat.MatchCounts X·Xᵀ per i-block + match-count lookup table,
+// i-blocks fanned across ml.ParallelFor). Both builds produce bit-identical
+// caches; only the schedule differs.
+func benchKernelCache(b *testing.B, blocked bool) {
+	train := benchTrainSplit(b, core.EngineColumnar)
+	n := train.NumExamples()
+	if cap := envInt("REPRO_SVMCAP", 1024); n > cap {
+		perm := rng.New(7).Perm(n)
+		train = train.Subset(perm[:cap])
+		n = cap
+	}
+	d := train.NumFeatures()
+	block, _ := ml.ScanRowMajor(train)
+	rows := make([][]relational.Value, n)
+	for i := range rows {
+		rows[i] = block[i*d : (i+1)*d]
+	}
+	k, err := svm.NewKernel(svm.RBF, 0.1, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float32, n*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blocked {
+			k.GramBlocked(dst, block, n)
+		} else {
+			k.GramRows(dst, rows)
+		}
+	}
+}
+
+// BenchmarkSVMKernelCacheScalar is the historical build: one kernel
+// evaluation (function call + match-count loop + exp) per row pair.
+func BenchmarkSVMKernelCacheScalar(b *testing.B) { benchKernelCache(b, false) }
+
+// BenchmarkSVMKernelCacheGemm is the blocked build: match counts as a
+// blocked one-hot X·Xᵀ, kernel values from a (d+1)-entry LUT.
+func BenchmarkSVMKernelCacheGemm(b *testing.B) { benchKernelCache(b, true) }
+
 // benchServeEngine trains Naive Bayes on the Movies JoinAll view, binds a
 // serving engine, and precomputes a request stream from the fact table —
 // the shared setup of the serving-path pair.
@@ -625,6 +670,80 @@ func BenchmarkServeJoined(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.PredictJoined(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServeEngineANN binds an MLP artifact to the Movies schema — a
+// gather-path model whose per-request forward pass is the allocation-heavy
+// cost the batched GEMM serving path eliminates — plus a request stream.
+func benchServeEngineANN(b *testing.B) (*serve.Engine, [][]relational.Value) {
+	o := benchOptions()
+	spec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, o.Scale, o.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jv, err := relational.NewJoinView(ss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targetCol := jv.Schema().ColumnsOfKind(relational.KindTarget)[0]
+	train, err := ml.ViewDataset(jv, targetCol, ml.JoinAll, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ann.New(ann.Config{Hidden1: 32, Hidden2: 16, LearningRate: 1e-2, Epochs: 2, Seed: 7})
+	if err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	artifact, err := model.New(m, train.Features, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(artifact, ss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := min(ss.Fact.NumRows(), 1024)
+	reqs := make([][]relational.Value, n)
+	for i := range reqs {
+		reqs[i] = engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(i))
+	}
+	return engine, reqs
+}
+
+// BenchmarkServeBatchScalar scores one full request stream against the MLP
+// artifact through the per-request API — join gather plus one scalar forward
+// pass (which allocates both hidden layers) per request, the cost a client
+// pays issuing single-prediction calls in a loop.
+func BenchmarkServeBatchScalar(b *testing.B) {
+	engine, reqs := benchServeEngineANN(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, req := range reqs {
+			if _, err := engine.PredictJoined(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkServeBatchGemm scores the same stream through PredictBatch: the
+// morsel-parallel chunks only assemble joined rows, and one batched GEMM
+// forward pass (ml.BatchPredictor) classifies the entire batch with
+// identical classes.
+func BenchmarkServeBatchGemm(b *testing.B) {
+	engine, reqs := benchServeEngineANN(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PredictBatch(reqs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,10 +5,16 @@
 //  1. any gated benchmark's median ns/op regressed more than -max-regress
 //     (default 20%) against the baseline, or a gated baseline benchmark is
 //     missing from the current run; or
-//  2. none of the row-vs-columnar learner pairs named by -pairs shows the
-//     columnar path at least -min-speedup (default 1.5x) faster than the
-//     row path *within the current run* — the machine-independent check
-//     that the batched column training paths actually pay for themselves.
+//  2. any -pairs group lacks a pair whose fast side is at least -min-speedup
+//     (default 1.5x) faster than its slow side *within the current run* —
+//     the machine-independent check that the batched paths actually pay for
+//     themselves. Groups are ';'-separated lists of pairs; a pair is either
+//     a bare name (Benchmark<name>RowAtATime vs Benchmark<name>Columnar, the
+//     storage-engine convention) or name/slowSuffix/fastSuffix for custom
+//     A/B suffixes (e.g. SVMKernelCache/Scalar/Gemm). Every group must
+//     produce at least one winner, so a logreg-only speedup can no longer
+//     carry the gate — the compute-kernel group requires the win on an ANN
+//     or SVM pair.
 //
 // Medians are taken across repetitions (`-count=N`), mirroring benchstat's
 // robustness to scheduler noise; run benchstat alongside for the
@@ -27,10 +33,17 @@ import (
 	"strings"
 )
 
-// defaultGate covers the storage-engine and serving pairs that guard the
-// repository's headline wins: join pipeline, NB fit, tree split search, and
-// the factorized serving path, plus the iterative-learner pairs.
-const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined))$`
+// defaultGate covers the storage-engine, compute-kernel, and serving pairs
+// that guard the repository's headline wins: join pipeline, NB fit, tree
+// split search, the iterative-learner pairs, the factorized serving path,
+// and the GEMM-vs-scalar kernel pairs (SVM Gram build, batch serving).
+const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm))$`
+
+// defaultPairs is the speedup requirement: the first group keeps the PR 4
+// storage-engine bar (some iterative learner ≥ min-speedup columnar vs row),
+// the second is the compute-kernel bar — the win must land on an ANN or SVM
+// pair (full fit or the Gram-build kernel), not just logreg.
+const defaultPairs = `LogRegFit,SVMFit,ANNFit;SVMFit,ANNFit,SVMKernelCache/Scalar/Gemm`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -45,8 +58,8 @@ func run(args []string, out io.Writer) error {
 	currentPath := fs.String("current", "", "current go-bench output file (required)")
 	gate := fs.String("gate", defaultGate, "regexp of benchmark names the regression check gates")
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression vs baseline (0.20 = +20%)")
-	pairs := fs.String("pairs", "LogRegFit,SVMFit,ANNFit", "comma-separated Benchmark<name>{RowAtATime,Columnar} pairs for the speedup check (empty skips)")
-	minSpeedup := fs.Float64("min-speedup", 1.5, "required row/columnar speedup on at least one pair")
+	pairs := fs.String("pairs", defaultPairs, "';'-separated groups of comma-separated pairs for the speedup check; a pair is <name> (RowAtATime vs Columnar) or <name>/<slow>/<fast> (empty skips)")
+	minSpeedup := fs.Float64("min-speedup", 1.5, "required slow/fast speedup on at least one pair per group")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,12 +84,14 @@ func run(args []string, out io.Writer) error {
 		failures += checkRegressions(out, baseline, current, gateRE, *maxRegress)
 	}
 	if *pairs != "" {
-		ok, err := checkPairSpeedup(out, current, strings.Split(*pairs, ","), *minSpeedup)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			failures++
+		for _, group := range strings.Split(*pairs, ";") {
+			ok, err := checkPairSpeedup(out, current, strings.Split(group, ","), *minSpeedup)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				failures++
+			}
 		}
 	}
 	if failures > 0 {
@@ -133,9 +148,22 @@ func checkRegressions(out io.Writer, baseline, current map[string][]float64, gat
 	return bad
 }
 
-// checkPairSpeedup requires at least one Benchmark<pair>Columnar to be
-// minSpeedup faster than its Benchmark<pair>RowAtATime sibling within the
-// same run.
+// pairNames resolves one -pairs entry to its slow and fast benchmark names:
+// a bare name uses the RowAtATime/Columnar storage-engine convention, and
+// name/slowSuffix/fastSuffix names the suffixes explicitly.
+func pairNames(p string) (slow, fast string, err error) {
+	switch parts := strings.Split(p, "/"); len(parts) {
+	case 1:
+		return "Benchmark" + p + "RowAtATime", "Benchmark" + p + "Columnar", nil
+	case 3:
+		return "Benchmark" + parts[0] + parts[1], "Benchmark" + parts[0] + parts[2], nil
+	default:
+		return "", "", fmt.Errorf("bad pair %q: want <name> or <name>/<slow>/<fast>", p)
+	}
+}
+
+// checkPairSpeedup requires at least one pair of the group whose fast side
+// is minSpeedup faster than its slow sibling within the same run.
 func checkPairSpeedup(out io.Writer, current map[string][]float64, pairs []string, minSpeedup float64) (bool, error) {
 	best := 0.0
 	for _, p := range pairs {
@@ -143,21 +171,23 @@ func checkPairSpeedup(out io.Writer, current map[string][]float64, pairs []strin
 		if p == "" {
 			continue
 		}
-		rowName := "Benchmark" + p + "RowAtATime"
-		colName := "Benchmark" + p + "Columnar"
-		row, okRow := current[rowName]
-		col, okCol := current[colName]
-		if !okRow || !okCol {
-			return false, fmt.Errorf("pair %s: %s or %s missing from current run", p, rowName, colName)
+		slowName, fastName, err := pairNames(p)
+		if err != nil {
+			return false, err
 		}
-		speedup := median(row) / median(col)
+		slow, okSlow := current[slowName]
+		fast, okFast := current[fastName]
+		if !okSlow || !okFast {
+			return false, fmt.Errorf("pair %s: %s or %s missing from current run", p, slowName, fastName)
+		}
+		speedup := median(slow) / median(fast)
 		if speedup > best {
 			best = speedup
 		}
-		fmt.Fprintf(out, "pair %s: columnar %.2fx vs row\n", p, speedup)
+		fmt.Fprintf(out, "pair %s: fast side %.2fx vs slow\n", p, speedup)
 	}
 	if best < minSpeedup {
-		fmt.Fprintf(out, "FAIL pairs: best columnar speedup %.2fx < required %.2fx\n", best, minSpeedup)
+		fmt.Fprintf(out, "FAIL pairs: best columnar speedup %.2fx < required %.2fx in group\n", best, minSpeedup)
 		return false, nil
 	}
 	return true, nil

@@ -57,13 +57,64 @@ BenchmarkSVMFitRowAtATime-4   	      10	  1000000 ns/op
 BenchmarkSVMFitColumnar-4     	      10	  1000000 ns/op
 BenchmarkANNFitRowAtATime-4   	      10	  1000000 ns/op
 BenchmarkANNFitColumnar-4     	      10	  1000000 ns/op
+BenchmarkSVMKernelCacheScalar-4	      10	  2000000 ns/op
+BenchmarkSVMKernelCacheGemm-4 	      10	   800000 ns/op
 `)
 	var sb strings.Builder
 	if err := run([]string{"-baseline", base, "-current", cur}, &sb); err != nil {
 		t.Fatalf("gate failed: %v\n%s", err, sb.String())
 	}
-	if !strings.Contains(sb.String(), "pair LogRegFit: columnar 2.00x") {
+	if !strings.Contains(sb.String(), "pair LogRegFit: fast side 2.00x") {
 		t.Fatalf("missing pair report:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "pair SVMKernelCache/Scalar/Gemm: fast side 2.50x") {
+		t.Fatalf("missing custom-suffix pair report:\n%s", sb.String())
+	}
+}
+
+func TestPairGroupsEachRequireAWinner(t *testing.T) {
+	// LogReg clears 1.5x but the ANN/SVM compute-kernel group does not —
+	// the gate must fail: a logreg-only speedup can no longer carry it.
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkLogRegFitRowAtATime	      10	  2000000 ns/op
+BenchmarkLogRegFitColumnar  	      10	  1000000 ns/op
+BenchmarkSVMFitRowAtATime   	      10	  1000000 ns/op
+BenchmarkSVMFitColumnar     	      10	  1000000 ns/op
+BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
+BenchmarkANNFitColumnar     	      10	  1000000 ns/op
+BenchmarkSVMKernelCacheScalar	      10	  1000000 ns/op
+BenchmarkSVMKernelCacheGemm 	      10	   900000 ns/op
+`)
+	var sb strings.Builder
+	err := run([]string{"-current", cur}, &sb)
+	if err == nil || !strings.Contains(sb.String(), "FAIL pairs") {
+		t.Fatalf("compute-kernel group at 1.11x must fail (err %v):\n%s", err, sb.String())
+	}
+	// With the SVM Gram build at 2.5x the same run passes: the second group
+	// has its ANN/SVM winner.
+	cur2 := writeTemp(t, "cur2.txt", `
+BenchmarkLogRegFitRowAtATime	      10	  2000000 ns/op
+BenchmarkLogRegFitColumnar  	      10	  1000000 ns/op
+BenchmarkSVMFitRowAtATime   	      10	  1000000 ns/op
+BenchmarkSVMFitColumnar     	      10	  1000000 ns/op
+BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
+BenchmarkANNFitColumnar     	      10	  1000000 ns/op
+BenchmarkSVMKernelCacheScalar	      10	  2500000 ns/op
+BenchmarkSVMKernelCacheGemm 	      10	  1000000 ns/op
+`)
+	sb.Reset()
+	if err := run([]string{"-current", cur2}, &sb); err != nil {
+		t.Fatalf("gate must pass with an SVM kernel win: %v\n%s", err, sb.String())
+	}
+}
+
+func TestPairNamesSyntax(t *testing.T) {
+	if _, _, err := pairNames("A/B"); err == nil {
+		t.Fatal("two-part pair spec must be rejected")
+	}
+	slow, fast, err := pairNames("ServeBatch/Scalar/Gemm")
+	if err != nil || slow != "BenchmarkServeBatchScalar" || fast != "BenchmarkServeBatchGemm" {
+		t.Fatalf("custom suffixes resolved to %q/%q (err %v)", slow, fast, err)
 	}
 }
 
@@ -122,6 +173,8 @@ BenchmarkSVMFitRowAtATime   	      10	  1000000 ns/op
 BenchmarkSVMFitColumnar     	      10	  1000000 ns/op
 BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
 BenchmarkANNFitColumnar     	      10	  1100000 ns/op
+BenchmarkSVMKernelCacheScalar	      10	  1000000 ns/op
+BenchmarkSVMKernelCacheGemm 	      10	  1000000 ns/op
 `)
 	var sb strings.Builder
 	err := run([]string{"-current", cur}, &sb)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 	"repro/internal/relational"
 	"repro/internal/rng"
@@ -110,13 +111,16 @@ func (m *MLP) Name() string { return "ANN(MLP)" }
 
 // Fit trains the network with mini-batch Adam.
 //
-// Feature access runs column-at-a-time by default: ml.ScanActiveIndices
-// scans every feature once per Fit ((feature, span) tasks fanned across
-// ml.ParallelFor) into a dense active-index matrix, and every epoch's
-// forward/backward passes index that matrix instead of re-gathering each
-// example's row — the sparse input layer only ever needs the active one-hot
-// indices. The arithmetic and its order are unchanged, so the fitted network
-// is bit-identical to the historical path, which Config.RowAtATime restores.
+// The default path processes each mini-batch as dense linear algebra over
+// the one-pass active-index matrix (ml.ScanActiveIndices): the forward pass
+// is one mat.SpGemmOneHot (the sparse input layer) plus one mat.Gemm and one
+// mat.Gemv, and the backward pass accumulates the weight gradients through
+// mat.GemmTA/GemvT with per-element mat.Dot for the ReLU-masked deltas. The
+// kernels keep every output element's accumulation sequential and in the
+// same order as the historical example-at-a-time loops (mat's bit-identity
+// contract), and the shared applyAdam step is untouched, so the fitted
+// network is bit-identical to the historical path, which Config.RowAtATime
+// restores.
 func (m *MLP) Fit(train *ml.Dataset) error {
 	if train.NumExamples() == 0 {
 		return fmt.Errorf("ann: empty training set")
@@ -159,10 +163,32 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 		order[i] = i
 	}
 
-	// exampleAt yields example ei's active one-hot indices and label: slices
-	// of the one-pass materialization by default, per-call scratch-row
-	// gathers on the row path.
-	exampleAt := ml.ExampleAccessor(train, m.enc, m.cfg.RowAtATime)
+	if m.cfg.RowAtATime {
+		m.fitRows(train, r, order)
+	} else {
+		m.fitBatched(train, r, order)
+	}
+	return nil
+}
+
+// sparseGrad is one pending input-layer update: the gradient w.r.t. one
+// active embedding row. The row path copies each example's delta into a
+// private slice; the batch path points every entry at its example's row of
+// the delta matrix — same values either way.
+type sparseGrad struct {
+	row  int
+	grad []float64
+}
+
+// fitRows is the historical example-at-a-time epoch loop, preserved verbatim
+// as the Config.RowAtATime reference the batched path is pinned against.
+func (m *MLP) fitRows(train *ml.Dataset, r *rng.RNG, order []int) {
+	h1, h2 := m.cfg.Hidden1, m.cfg.Hidden2
+	n := train.NumExamples()
+
+	// exampleAt yields example ei's active one-hot indices and label through
+	// per-call scratch-row gathers.
+	exampleAt := ml.ExampleAccessor(train, m.enc, true)
 
 	// Gradient accumulators reused across batches.
 	gW2 := make([]float64, h1*h2)
@@ -173,11 +199,6 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 	z2 := make([]float64, h2)
 	d1 := make([]float64, h1)
 	d2 := make([]float64, h2)
-	// Sparse input-layer gradient: one row per active index per example.
-	type sparseGrad struct {
-		row  int
-		grad []float64
-	}
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		r.ShuffleInts(order)
 		for at := 0; at < n; at += m.cfg.BatchSize {
@@ -283,42 +304,198 @@ func (m *MLP) Fit(train *ml.Dataset) error {
 					sparse = append(sparse, sparseGrad{row: int(k), grad: g})
 				}
 			}
-			// Adam updates.
-			m.step++
-			lr := m.cfg.LearningRate
-			c1 := 1 - math.Pow(beta1, float64(m.step))
-			c2 := 1 - math.Pow(beta2, float64(m.step))
-			update := func(w, g []float64, st adamState, l2 float64) {
-				for i := range w {
-					gi := g[i] + l2*w[i]
-					st.m[i] = beta1*st.m[i] + (1-beta1)*gi
-					st.v[i] = beta2*st.v[i] + (1-beta2)*gi*gi
-					w[i] -= lr * (st.m[i] / c1) / (math.Sqrt(st.v[i]/c2) + eps)
-				}
-			}
-			update(m.w2, gW2, m.a2, m.cfg.L2)
-			update(m.b2, gB2, m.a2b, 0)
-			update(m.w3, gW3, m.a3, m.cfg.L2)
-			m.a3b.m[0] = beta1*m.a3b.m[0] + (1-beta1)*gB3
-			m.a3b.v[0] = beta2*m.a3b.v[0] + (1-beta2)*gB3*gB3
-			m.b3 -= lr * (m.a3b.m[0] / c1) / (math.Sqrt(m.a3b.v[0]/c2) + eps)
-			update(m.b1, gB1, m.a1b, 0)
-			// Sparse rows of w1.
-			for _, sg := range sparse {
-				base := sg.row * h1
-				w := m.w1[base : base+h1]
-				mm := m.a1.m[base : base+h1]
-				vv := m.a1.v[base : base+h1]
-				for u := 0; u < h1; u++ {
-					gi := sg.grad[u] + m.cfg.L2*w[u]
-					mm[u] = beta1*mm[u] + (1-beta1)*gi
-					vv[u] = beta2*vv[u] + (1-beta2)*gi*gi
-					w[u] -= lr * (mm[u] / c1) / (math.Sqrt(vv[u]/c2) + eps)
-				}
-			}
+			m.applyAdam(gW2, gB2, gW3, gB3, gB1, sparse)
 		}
 	}
-	return nil
+}
+
+// fitBatched runs the default epoch loop: each mini-batch moves through the
+// network as dense matrices over the one-pass active-index materialization.
+// Forward is one SpGemmOneHot (B×h1), one Gemm (B×h2), and one Gemv (B);
+// backward accumulates gW3/gW2 through GemvT/GemmTA — whose per-element sums
+// run over the batch in ascending example order, exactly as the historical
+// loop interleaved them — and the ReLU-masked deltas come from per-element
+// sequential Dots, skipping masked elements just as the row path does.
+// Gradient values and fold orders are identical to fitRows (the Gemm/GemmTA
+// full-dense sums only add exact ±0 products where the row path skipped
+// zero activations), so the trained parameters match the row path bit for
+// bit — TestColumnarMatchesRowPath pins it.
+func (m *MLP) fitBatched(train *ml.Dataset, r *rng.RNG, order []int) {
+	h1, h2 := m.cfg.Hidden1, m.cfg.Hidden2
+	n := train.NumExamples()
+	d := train.NumFeatures()
+	idxMat, labels := ml.ScanActiveIndices(train, m.enc)
+
+	B := m.cfg.BatchSize
+	if B > n {
+		B = n
+	}
+	// Batch scratch: index block, labels, activations, deltas — reused
+	// across batches; slices of the leading bs rows are passed to the
+	// kernels when the last batch runs short.
+	bidx := make([]int32, B*d)
+	yb := make([]float64, B)
+	z1 := make([]float64, B*h1)
+	z2 := make([]float64, B*h2)
+	z3 := make([]float64, B)
+	g3 := make([]float64, B)
+	d2 := make([]float64, B*h2)
+	d1 := make([]float64, B*h1)
+	gW2 := make([]float64, h1*h2)
+	gB2 := make([]float64, h2)
+	gW3 := make([]float64, h2)
+	gB1 := make([]float64, h1)
+	sparse := make([]sparseGrad, 0, B*d)
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		r.ShuffleInts(order)
+		for at := 0; at < n; at += m.cfg.BatchSize {
+			end := at + m.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := end - at
+			bsf := float64(bs)
+
+			// Gather the batch's active-index rows and labels in shuffled
+			// order; row t of every batch matrix is example order[at+t].
+			for t := 0; t < bs; t++ {
+				ei := order[at+t]
+				copy(bidx[t*d:(t+1)*d], idxMat[ei*d:(ei+1)*d])
+				yb[t] = float64(labels[ei])
+			}
+
+			// Forward: Z1 = 1·b1ᵀ + OneHot·W1, ReLU.
+			mat.SpGemmOneHot(z1[:bs*h1], h1, bidx[:bs*d], d, m.w1, h1, bs, d, h1, m.b1)
+			for i, v := range z1[:bs*h1] {
+				if v < 0 {
+					z1[i] = 0
+				}
+			}
+			// Z2 = 1·b2ᵀ + Z1·W2, ReLU.
+			for t := 0; t < bs; t++ {
+				copy(z2[t*h2:(t+1)*h2], m.b2)
+			}
+			mat.Gemm(z2[:bs*h2], h2, z1[:bs*h1], h1, m.w2, h2, bs, h2, h1)
+			for i, v := range z2[:bs*h2] {
+				if v < 0 {
+					z2[i] = 0
+				}
+			}
+			// z3 = b3 + Z2·w3, then the batch-averaged output delta.
+			for t := 0; t < bs; t++ {
+				z3[t] = m.b3
+			}
+			mat.Gemv(z3[:bs], z2, h2, m.w3, bs, h2)
+			gB3 := 0.0
+			for t := 0; t < bs; t++ {
+				g3[t] = (sigmoid(z3[t]) - yb[t]) / bsf
+				gB3 += g3[t]
+			}
+
+			// gW3 = Z2ᵀ·g3; D2 = g3 ⊗ w3 masked by the ReLU.
+			for i := range gW3 {
+				gW3[i] = 0
+			}
+			mat.GemvT(gW3, z2, h2, g3[:bs], bs, h2)
+			for t := 0; t < bs; t++ {
+				g := g3[t]
+				zrow := z2[t*h2 : (t+1)*h2]
+				drow := d2[t*h2 : (t+1)*h2]
+				for v := range drow {
+					if zrow[v] > 0 {
+						drow[v] = g * m.w3[v]
+					} else {
+						drow[v] = 0
+					}
+				}
+			}
+			for i := range gB2 {
+				gB2[i] = 0
+			}
+			for t := 0; t < bs; t++ {
+				drow := d2[t*h2 : (t+1)*h2]
+				for v, dv := range drow {
+					gB2[v] += dv
+				}
+			}
+			// gW2 = Z1ᵀ·D2; D1 = D2·W2ᵀ masked by the first ReLU.
+			for i := range gW2 {
+				gW2[i] = 0
+			}
+			mat.GemmTA(gW2, h2, z1[:bs*h1], h1, d2[:bs*h2], h2, h1, h2, bs)
+			for t := 0; t < bs; t++ {
+				zrow := z1[t*h1 : (t+1)*h1]
+				d2row := d2[t*h2 : (t+1)*h2]
+				drow := d1[t*h1 : (t+1)*h1]
+				for u := range drow {
+					if zrow[u] > 0 {
+						drow[u] = mat.Dot(d2row, m.w2[u*h2:(u+1)*h2])
+					} else {
+						drow[u] = 0
+					}
+				}
+			}
+			for i := range gB1 {
+				gB1[i] = 0
+			}
+			for t := 0; t < bs; t++ {
+				drow := d1[t*h1 : (t+1)*h1]
+				for u, dv := range drow {
+					gB1[u] += dv
+				}
+			}
+			// Sparse input-layer grads: D1 row t is the gradient of every
+			// embedding row active for example t, in the row path's
+			// example-major append order.
+			sparse = sparse[:0]
+			for t := 0; t < bs; t++ {
+				grad := d1[t*h1 : (t+1)*h1]
+				for _, kx := range bidx[t*d : (t+1)*d] {
+					sparse = append(sparse, sparseGrad{row: int(kx), grad: grad})
+				}
+			}
+			m.applyAdam(gW2, gB2, gW3, gB3, gB1, sparse)
+		}
+	}
+}
+
+// applyAdam folds one mini-batch's accumulated gradients into the
+// parameters. Moved verbatim from the historical epoch loop; both epoch
+// paths call it, so their update arithmetic is identical by construction.
+func (m *MLP) applyAdam(gW2, gB2, gW3 []float64, gB3 float64, gB1 []float64, sparse []sparseGrad) {
+	h1 := m.cfg.Hidden1
+	m.step++
+	lr := m.cfg.LearningRate
+	c1 := 1 - math.Pow(beta1, float64(m.step))
+	c2 := 1 - math.Pow(beta2, float64(m.step))
+	update := func(w, g []float64, st adamState, l2 float64) {
+		for i := range w {
+			gi := g[i] + l2*w[i]
+			st.m[i] = beta1*st.m[i] + (1-beta1)*gi
+			st.v[i] = beta2*st.v[i] + (1-beta2)*gi*gi
+			w[i] -= lr * (st.m[i] / c1) / (math.Sqrt(st.v[i]/c2) + eps)
+		}
+	}
+	update(m.w2, gW2, m.a2, m.cfg.L2)
+	update(m.b2, gB2, m.a2b, 0)
+	update(m.w3, gW3, m.a3, m.cfg.L2)
+	m.a3b.m[0] = beta1*m.a3b.m[0] + (1-beta1)*gB3
+	m.a3b.v[0] = beta2*m.a3b.v[0] + (1-beta2)*gB3*gB3
+	m.b3 -= lr * (m.a3b.m[0] / c1) / (math.Sqrt(m.a3b.v[0]/c2) + eps)
+	update(m.b1, gB1, m.a1b, 0)
+	// Sparse rows of w1.
+	for _, sg := range sparse {
+		base := sg.row * h1
+		w := m.w1[base : base+h1]
+		mm := m.a1.m[base : base+h1]
+		vv := m.a1.v[base : base+h1]
+		for u := 0; u < h1; u++ {
+			gi := sg.grad[u] + m.cfg.L2*w[u]
+			mm[u] = beta1*mm[u] + (1-beta1)*gi
+			vv[u] = beta2*vv[u] + (1-beta2)*gi*gi
+			w[u] -= lr * (mm[u] / c1) / (math.Sqrt(vv[u]/c2) + eps)
+		}
+	}
 }
 
 // Probability returns P(Y=1 | row).
@@ -391,6 +568,64 @@ func (m *MLP) Predict(row []relational.Value) int8 {
 		return 1
 	}
 	return 0
+}
+
+// predictChunk is the per-task extent of PredictBatch: big enough that the
+// GEMM amortizes its setup, small enough that a chunk's activations stay
+// cache-resident and a modest batch still spreads across the pool.
+const predictChunk = 256
+
+// PredictBatch implements ml.BatchPredictor: one batched forward pass per
+// chunk (SpGemmOneHot + Gemm + Gemv over the dataset's active-index matrix)
+// instead of a per-example Probability call that allocates both hidden
+// layers per row. Chunks fan out across ml.ParallelFor with disjoint output
+// slots and private scratch, so results are deterministic; each example's
+// decision value folds in the same order as Probability's loops (the dense
+// sums only add exact ±0 terms where Probability skips inactive units), so
+// the classes agree with Predict example for example.
+func (m *MLP) PredictBatch(ds *ml.Dataset) []int8 {
+	n := ds.NumExamples()
+	out := make([]int8, n)
+	if n == 0 {
+		return out
+	}
+	h1, h2 := m.cfg.Hidden1, m.cfg.Hidden2
+	d := ds.NumFeatures()
+	idxMat, _ := ml.ScanActiveIndices(ds, m.enc)
+	chunks := (n + predictChunk - 1) / predictChunk
+	ml.ParallelFor(chunks, func(c int) {
+		lo := c * predictChunk
+		hi := min(lo+predictChunk, n)
+		bs := hi - lo
+		z1 := make([]float64, bs*h1)
+		z2 := make([]float64, bs*h2)
+		z3 := make([]float64, bs)
+		mat.SpGemmOneHot(z1, h1, idxMat[lo*d:hi*d], d, m.w1, h1, bs, d, h1, m.b1)
+		for i, v := range z1 {
+			if v < 0 {
+				z1[i] = 0
+			}
+		}
+		for t := 0; t < bs; t++ {
+			copy(z2[t*h2:(t+1)*h2], m.b2)
+		}
+		mat.Gemm(z2, h2, z1, h1, m.w2, h2, bs, h2, h1)
+		for i, v := range z2 {
+			if v < 0 {
+				z2[i] = 0
+			}
+		}
+		for t := 0; t < bs; t++ {
+			z3[t] = m.b3
+		}
+		mat.Gemv(z3, z2, h2, m.w3, bs, h2)
+		for t := 0; t < bs; t++ {
+			if sigmoid(z3[t]) >= 0.5 {
+				out[lo+t] = 1
+			}
+		}
+	})
+	return out
 }
 
 func sigmoid(z float64) float64 {

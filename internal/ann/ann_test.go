@@ -223,3 +223,28 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal("name wrong")
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	// The batched GEMM forward pass must classify exactly as the per-row
+	// Probability path: the dense sums only add exact ±0 terms where the
+	// scalar loops skip inactive units, so classes agree example for
+	// example (and probabilities bit for bit).
+	r := rng.New(83)
+	ds := &ml.Dataset{Features: feats(3, 5)}
+	for i := 0; i < 400; i++ {
+		a, b := r.Intn(3), r.Intn(5)
+		ds.X = append(ds.X, relational.Value(a), relational.Value(b))
+		ds.Y = append(ds.Y, int8((a+b)%2))
+	}
+	m := New(smallCfg(89))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	got := m.PredictBatch(ds)
+	buf := make([]relational.Value, ds.NumFeatures())
+	for i := range got {
+		if want := m.Predict(ds.RowInto(buf, i)); got[i] != want {
+			t.Fatalf("example %d: batch class %d != Predict %d", i, got[i], want)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/relational"
 	"repro/internal/rng"
 	"repro/internal/svm"
@@ -589,6 +591,48 @@ func TestIterativeLearnersEngineEquivalence(t *testing.T) {
 						dsName, mspec.Name, rres.BestPoint, cres.BestPoint)
 				}
 			}
+		}
+	}
+}
+
+// TestArtifactBytesIdenticalAcrossEngines is the end-to-end pin of the
+// compute-kernel layer at the artifact boundary: the GEMM learners (ANN,
+// SVM, logreg) trained through either storage engine must export
+// byte-identical model artifacts — the deterministic codec makes parameter
+// bit-equality visible as byte equality, so any kernel-order divergence
+// anywhere in the batched paths fails here.
+func TestArtifactBytesIdenticalAcrossEngines(t *testing.T) {
+	dspec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(dspec, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, specName := range []string{"ANN(MLP)", "SVM(rbf)", "LogisticRegression(L1)"} {
+		spec, err := SpecByName(specName, EffortFast, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var encoded [][]byte
+		for _, engine := range []Engine{EngineRow, EngineColumnar} {
+			env, err := NewEnvEngine(ss, 7, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			artifact, _, err := BuildArtifact(env, spec, 7, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var raw bytes.Buffer
+			if err := model.Encode(&raw, artifact); err != nil {
+				t.Fatal(err)
+			}
+			encoded = append(encoded, raw.Bytes())
+		}
+		if !bytes.Equal(encoded[0], encoded[1]) {
+			t.Fatalf("%s: row- and columnar-trained artifacts differ", specName)
 		}
 	}
 }

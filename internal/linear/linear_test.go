@@ -222,3 +222,53 @@ func TestL2ShrinksWeightNorm(t *testing.T) {
 		t.Fatalf("mild-L2 accuracy %v", acc)
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	// The SpGemmOneHot batch scorer must classify exactly as the per-row
+	// Predict path — same bias-first fold in feature order — including on a
+	// remapped Subset view, where the active-index scan goes through the
+	// dataset's row remap.
+	r := rng.New(71)
+	base := &ml.Dataset{Features: feats(3, 4, 2)}
+	for i := 0; i < 300; i++ {
+		a, b, c := r.Intn(3), r.Intn(4), r.Intn(2)
+		base.X = append(base.X, relational.Value(a), relational.Value(b), relational.Value(c))
+		base.Y = append(base.Y, int8((a+b)%2))
+	}
+	m := NewLogReg(LogRegConfig{Lambda: 1e-3, Seed: 73})
+	if err := m.Fit(base); err != nil {
+		t.Fatal(err)
+	}
+	sub := make([]int, 120)
+	for i := range sub {
+		sub[i] = r.Intn(300)
+	}
+	for name, ds := range map[string]*ml.Dataset{"dense": base, "view": base.Subset(sub)} {
+		got := m.PredictBatch(ds)
+		if len(got) != ds.NumExamples() {
+			t.Fatalf("%s: PredictBatch returned %d classes for %d examples", name, len(got), ds.NumExamples())
+		}
+		buf := make([]relational.Value, ds.NumFeatures())
+		for i := range got {
+			if want := m.Predict(ds.RowInto(buf, i)); got[i] != want {
+				t.Fatalf("%s: example %d: batch class %d != Predict %d", name, i, got[i], want)
+			}
+		}
+		if ml.Accuracy(m, ds) != accuracySequential(m, ds) {
+			t.Fatalf("%s: batched Accuracy diverged from the sequential loop", name)
+		}
+	}
+}
+
+// accuracySequential is the historical per-row Accuracy loop, kept here as
+// the reference the BatchPredictor fast path is pinned against.
+func accuracySequential(c ml.Classifier, ds *ml.Dataset) float64 {
+	buf := make([]relational.Value, ds.NumFeatures())
+	correct := 0
+	for i := 0; i < ds.NumExamples(); i++ {
+		if c.Predict(ds.RowInto(buf, i)) == ds.Label(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.NumExamples())
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 	"repro/internal/relational"
 	"repro/internal/rng"
@@ -99,10 +100,12 @@ func (m *LogReg) Fit(train *ml.Dataset) error {
 		r.ShuffleInts(order)
 		for _, i := range order {
 			idx, y := exampleAt(i)
-			z := m.b
-			for _, k := range idx {
-				z += m.w[k]
-			}
+			// The epoch score is the one-hot gather-sum kernel (SGD's
+			// sequential updates rule out batching whole epochs through
+			// SpGemmOneHot bit-identically — each example's score reads the
+			// weights as left by the previous example's update — so the
+			// per-example score runs through mat's scalar form instead).
+			z := mat.GatherSum(m.b, m.w, idx)
 			p := sigmoid(z)
 			g := p - y // d(loss)/dz
 			eta := step / math.Sqrt(t)
@@ -146,6 +149,29 @@ func (m *LogReg) Predict(row []relational.Value) int8 {
 		return 1
 	}
 	return 0
+}
+
+// PredictBatch implements ml.BatchPredictor: the dataset is scored in one
+// SpGemmOneHot pass (h = 1) over its active-index matrix — one batched
+// column scan per feature instead of a row gather per example, then a tight
+// gather-sum per row. Each decision value folds bias-first in feature order,
+// exactly as Decision does, so the classes match Predict bit for bit.
+func (m *LogReg) PredictBatch(ds *ml.Dataset) []int8 {
+	n := ds.NumExamples()
+	out := make([]int8, n)
+	if n == 0 {
+		return out
+	}
+	d := ds.NumFeatures()
+	idx, _ := ml.ScanActiveIndices(ds, m.enc)
+	z := make([]float64, n)
+	mat.SpGemmOneHot(z, 1, idx, d, m.w, 1, n, d, 1, []float64{m.b})
+	for i, zi := range z {
+		if zi >= 0 {
+			out[i] = 1
+		}
+	}
+	return out
 }
 
 // NonZeroWeights counts weights the L1 penalty left active.

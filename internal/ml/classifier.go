@@ -22,17 +22,38 @@ type Named interface {
 	Name() string
 }
 
+// BatchPredictor is an optional Classifier extension: PredictBatch
+// classifies every example of a dataset in one batched pass — typically a
+// mat kernel over the dataset's active-index matrix instead of a per-example
+// row gather and Predict call. Implementations must return exactly the class
+// Predict returns for every example (the evaluation paths treat the two as
+// interchangeable), with out[i] the class of example i.
+type BatchPredictor interface {
+	PredictBatch(ds *Dataset) []int8
+}
+
 // Accuracy returns the fraction of examples in ds classified correctly by c.
-// Rows are copied into a local buffer before prediction so that classifiers
-// which internally iterate the same dataset (1-NN evaluated on its own
-// training set) never see their argument clobbered by scratch reuse.
+// Classifiers implementing BatchPredictor are scored in one batched pass;
+// for the rest, rows are copied into a local buffer before prediction so
+// that classifiers which internally iterate the same dataset (1-NN evaluated
+// on its own training set) never see their argument clobbered by scratch
+// reuse. The two paths count identical classes, so the choice never changes
+// an accuracy.
 func Accuracy(c Classifier, ds *Dataset) float64 {
 	n := ds.NumExamples()
 	if n == 0 {
 		return 0
 	}
-	buf := make([]relational.Value, ds.NumFeatures())
 	correct := 0
+	if bp, ok := c.(BatchPredictor); ok {
+		for i, cls := range bp.PredictBatch(ds) {
+			if cls == ds.Label(i) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(n)
+	}
+	buf := make([]relational.Value, ds.NumFeatures())
 	for i := 0; i < n; i++ {
 		if c.Predict(ds.RowInto(buf, i)) == ds.Label(i) {
 			correct++

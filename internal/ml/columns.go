@@ -65,17 +65,25 @@ func ScanRowMajor(d *Dataset) (block []relational.Value, labels []int8) {
 	n := d.NumExamples()
 	k := d.NumFeatures()
 	block = make([]relational.Value, n*k)
-	forEachFeatureSpan(d, func(i, j int, v relational.Value) {
-		block[i*k+j] = v
-	})
+	if d.v == nil {
+		// Plain dense dataset: the row-major block already exists — copy it
+		// instead of re-deriving it cell-by-cell through the scan fan-out.
+		copy(block, d.X[:n*k])
+	} else {
+		forEachFeatureSpan(d, func(i, j int, v relational.Value) {
+			block[i*k+j] = v
+		})
+	}
 	labels = make([]int8, n)
 	d.ScanLabels(labels, 0)
 	return block, labels
 }
 
 // ExampleAccessor returns a closure yielding example i's active one-hot
-// indices and label — the access seam the embedding-style learners (logreg
-// SGD, the MLP's sparse input layer) run their epochs through. With
+// indices and label — the access seam the embedding-style learners run
+// example-at-a-time epochs through (logreg SGD on both paths; the MLP's
+// historical row path — its batched path consumes ScanActiveIndices'
+// matrix directly as mini-batch GEMM operands). With
 // rowAtATime false it materializes the active-index matrix once via
 // ScanActiveIndices and serves slices of it; with rowAtATime true it
 // gathers through a private scratch row per call (the historical path).
@@ -116,9 +124,22 @@ func ScanActiveIndices(d *Dataset, enc *Encoder) (idx []int32, labels []int8) {
 	n := d.NumExamples()
 	k := d.NumFeatures()
 	idx = make([]int32, n*k)
-	forEachFeatureSpan(d, func(i, j int, v relational.Value) {
-		idx[i*k+j] = int32(enc.Offsets[j]) + int32(v)
-	})
+	if d.v == nil {
+		// Plain dense dataset (batch-serving assembles one, and tests build
+		// them directly): offset the row-major block in one tight pass
+		// instead of paying the scan fan-out's per-cell indirection.
+		for i := 0; i < n; i++ {
+			row := d.X[i*k : (i+1)*k]
+			out := idx[i*k : (i+1)*k]
+			for j, v := range row {
+				out[j] = int32(enc.Offsets[j]) + int32(v)
+			}
+		}
+	} else {
+		forEachFeatureSpan(d, func(i, j int, v relational.Value) {
+			idx[i*k+j] = int32(enc.Offsets[j]) + int32(v)
+		})
+	}
 	labels = make([]int8, n)
 	d.ScanLabels(labels, 0)
 	return idx, labels

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withMaxParallelism runs fn with MaxParallelism pinned, restoring the
+// previous setting afterwards.
+func withMaxParallelism(t *testing.T, p int, fn func()) {
+	t.Helper()
+	old := MaxParallelism
+	MaxParallelism = p
+	defer func() { MaxParallelism = old }()
+	fn()
+}
+
+func TestParallelForZeroItems(t *testing.T) {
+	// n = 0 must return immediately without invoking fn or hanging a pool.
+	for _, p := range []int{0, 1, 8} {
+		withMaxParallelism(t, p, func() {
+			calls := 0
+			ParallelFor(0, func(int) { calls++ })
+			if calls != 0 {
+				t.Fatalf("MaxParallelism=%d: fn called %d times for n=0", p, calls)
+			}
+		})
+	}
+}
+
+// TestParallelForEachIndexOnce covers the fan-out's index accounting across
+// the interesting regimes: n below the worker count (fewer tasks than one
+// "morsel" of parallelism, so excess workers must idle quietly), n equal to
+// it, and n far above it. Every index must be visited exactly once.
+func TestParallelForEachIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 16} {
+		for _, n := range []int{1, 2, 3, 16, 1000} {
+			withMaxParallelism(t, p, func() {
+				counts := make([]atomic.Int32, n)
+				ParallelFor(n, func(i int) { counts[i].Add(1) })
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("p=%d n=%d: index %d ran %d times", p, n, i, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParallelForSequentialWhenParallelismOne(t *testing.T) {
+	// MaxParallelism = 1 must run indices in order on the calling goroutine
+	// — the historical sequential execution some tests and benchmarks pin.
+	withMaxParallelism(t, 1, func() {
+		var order []int
+		ParallelFor(5, func(i int) { order = append(order, i) })
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("sequential run visited %v", order)
+			}
+		}
+		if len(order) != 5 {
+			t.Fatalf("visited %d of 5 indices", len(order))
+		}
+	})
+}
+
+func TestParallelForNestedFanoutsRunSequentially(t *testing.T) {
+	// A fan-out that starts while another is active must not stack a second
+	// worker pool on top of the first: the inner ParallelFor runs inline on
+	// its caller's goroutine, so inner iterations may touch caller-local
+	// state without synchronization (the batch-path learners rely on this
+	// inside GridSearch workers).
+	withMaxParallelism(t, 4, func() {
+		var innerTotal atomic.Int32
+		ParallelFor(4, func(int) {
+			local := 0 // written by the inner fn without synchronization
+			ParallelFor(8, func(int) { local++ })
+			if local != 8 {
+				t.Errorf("inner fan-out was not sequential: local=%d", local)
+			}
+			innerTotal.Add(int32(local))
+		})
+		if got := innerTotal.Load(); got != 32 {
+			t.Fatalf("inner iterations: got %d want 32", got)
+		}
+	})
+}
+
+func TestParallelismResolution(t *testing.T) {
+	// Parallelism(n) is what the learners size per-worker scratch with; it
+	// must never exceed n and must floor at 1 (including n = 0, where a
+	// zero-size scratch allocation would be a footgun).
+	withMaxParallelism(t, 8, func() {
+		if got := Parallelism(3); got != 3 {
+			t.Fatalf("Parallelism(3) with cap 8: got %d", got)
+		}
+		if got := Parallelism(0); got != 1 {
+			t.Fatalf("Parallelism(0): got %d, want floor of 1", got)
+		}
+	})
+	withMaxParallelism(t, 1, func() {
+		if got := Parallelism(100); got != 1 {
+			t.Fatalf("Parallelism(100) with cap 1: got %d", got)
+		}
+	})
+}

@@ -461,6 +461,18 @@ const predictBatchMorsel = 64
 // deterministic and identical to a sequential loop. Requests are validated
 // up front; the first invalid request fails the whole batch and nothing is
 // scored.
+//
+// Linear models keep the per-request scalar fold: the factorized score is
+// already one addend per fact feature plus one per dimension, and batching
+// it through an index-matrix kernel was measured strictly slower (two extra
+// memory operations per addend; see the ServeBatch bench pair's history).
+// The batch win lands on the gather path instead: for fallback models that
+// implement ml.BatchPredictor (the MLP's GEMM forward), the chunks only
+// assemble the joined rows into one dense block, and a single batched
+// forward pass classifies the whole batch — replacing a per-request
+// Probability call that allocates both hidden layers per row. The batch
+// classes equal the model's per-row Predict (ml.BatchPredictor's contract),
+// so the response is unchanged.
 func (e *Engine) PredictBatch(reqs [][]relational.Value) ([]Prediction, error) {
 	for i, req := range reqs {
 		if err := e.Validate(req); err != nil {
@@ -469,6 +481,23 @@ func (e *Engine) PredictBatch(reqs [][]relational.Value) ([]Prediction, error) {
 	}
 	out := make([]Prediction, len(reqs))
 	chunks := (len(reqs) + predictBatchMorsel - 1) / predictBatchMorsel
+	if bp, ok := e.cls.(ml.BatchPredictor); ok && !e.linear && e.scorer == nil {
+		w := len(e.mdl.Features)
+		block := make([]relational.Value, len(reqs)*w)
+		ml.ParallelFor(chunks, func(c int) {
+			lo := c * predictBatchMorsel
+			hi := min(lo+predictBatchMorsel, len(reqs))
+			sc := e.newScratch()
+			for i := lo; i < hi; i++ {
+				copy(block[i*w:(i+1)*w], e.assembleModelRow(sc, reqs[i]))
+			}
+		})
+		ds := &ml.Dataset{Features: e.mdl.Features, X: block, Y: make([]int8, len(reqs))}
+		for i, cls := range bp.PredictBatch(ds) {
+			out[i] = Prediction{Class: cls}
+		}
+		return out, nil
+	}
 	ml.ParallelFor(chunks, func(c int) {
 		lo := c * predictBatchMorsel
 		hi := min(lo+predictBatchMorsel, len(reqs))

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/ann"
 	"repro/internal/dataset"
 	"repro/internal/linear"
 	"repro/internal/ml"
@@ -194,6 +195,50 @@ func TestBatchMatchesSingle(t *testing.T) {
 		}
 		if p != batch[i] {
 			t.Fatalf("request %d: batch %+v != single %+v", i, batch[i], p)
+		}
+	}
+}
+
+// TestBatchMatchesSingleANN pins the batched-forward gather path (the MLP
+// implements ml.BatchPredictor, so PredictBatch assembles rows and runs one
+// GEMM forward) to the per-request Predict path, class for class.
+func TestBatchMatchesSingleANN(t *testing.T) {
+	ss := star(t, "Movies", 1024)
+	train, _ := joinAllDataset(t, ss)
+	mlp := ann.New(ann.Config{Hidden1: 8, Hidden2: 4, LearningRate: 1e-2, Epochs: 2, Seed: 5})
+	if err := mlp.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(mlp, train.Features, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(m, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.Factorized() {
+		t.Fatal("MLP must serve through the gather path")
+	}
+	n := min(ss.Fact.NumRows(), 200)
+	reqs := make([][]relational.Value, n)
+	for i := range reqs {
+		reqs[i] = engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(i))
+	}
+	batch, err := engine.PredictBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		p, err := engine.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Class != p.Class {
+			t.Fatalf("request %d: batch class %d != single class %d", i, batch[i].Class, p.Class)
+		}
+		if batch[i].Scored {
+			t.Fatalf("request %d: MLP predictions must not carry scores", i)
 		}
 	}
 }

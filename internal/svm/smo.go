@@ -2,6 +2,8 @@ package svm
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"repro/internal/ml"
 	"repro/internal/relational"
@@ -90,14 +92,16 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	// straight into the row-major block (ml.ScanRowMajor; under a
 	// subsample view the scan bottoms out in the relation's column
 	// gather), replacing n×d single-cell view accesses with d sequential
-	// scans. Config.RowAtATime restores the historical per-row
+	// scans — and the block then feeds the Gram build's blocked match-count
+	// kernel directly. Config.RowAtATime restores the historical per-row
 	// materialization; cell values are identical either way.
 	columnar := !s.cfg.RowAtATime
 	var rows [][]relational.Value
+	var block []relational.Value
 	var labels []int8
 	if columnar {
-		block, l := ml.ScanRowMajor(ds)
-		labels = l
+		b, l := ml.ScanRowMajor(ds)
+		block, labels = b, l
 		rows = make([][]relational.Value, n)
 		for i := range rows {
 			rows[i] = block[i*d : (i+1)*d : (i+1)*d]
@@ -146,43 +150,21 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	}
 
 	// Cache kernel rows lazily? For the paper's scales (n ≤ a few thousand
-	// after capping) a full n×n cache is affordable and much faster.
+	// after capping) a full n×n cache is affordable and much faster. The
+	// columnar build is a blocked X·Xᵀ over the pinned row-major block
+	// (mat.MatchCounts per i-block, kernel values from a match-count lookup
+	// table, i-blocks fanned across ml.ParallelFor with disjoint writes);
+	// GramBlocked documents why it is bit-identical to the per-pair
+	// GramRows build the historical path keeps.
 	var kcache []float32
 	cacheOK := n <= 4096
 	switch {
 	case cacheOK && columnar:
-		// Batch-path cache build: rows of the (symmetric) cache fan out
-		// across ml.ParallelFor — task i owns the strict upper triangle of
-		// row i, a disjoint write range, so the build is deterministic
-		// regardless of scheduling, and the mirror pass below fills the
-		// lower triangle. Each entry evaluates the identical float
-		// expression the sequential build evaluates on identical rows (the
-		// transpose of the one-pass column scan), so the cache is
-		// bit-identical to the row path's.
 		kcache = make([]float32, n*n)
-		ml.ParallelFor(n, func(i int) {
-			krow := kcache[i*n : (i+1)*n]
-			ri := rows[i]
-			for j := i + 1; j < n; j++ {
-				krow[j] = float32(k.Eval(ri, rows[j]))
-			}
-			krow[i] = float32(k.Self())
-		})
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				kcache[j*n+i] = kcache[i*n+j]
-			}
-		}
+		k.GramBlocked(kcache, block, n)
 	case cacheOK:
 		kcache = make([]float32, n*n)
-		for i := 0; i < n; i++ {
-			kcache[i*n+i] = float32(k.Self())
-			for j := i + 1; j < n; j++ {
-				v := float32(k.Eval(rows[i], rows[j]))
-				kcache[i*n+j] = v
-				kcache[j*n+i] = v
-			}
-		}
+		k.GramRows(kcache, rows)
 	}
 	kij := func(i, j int) float64 {
 		if cacheOK {
@@ -194,12 +176,44 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 		return k.Eval(rows[i], rows[j])
 	}
 
-	// f(i) = Σ_j α_j y_j k(i,j) + b
+	// ay[j] caches α_j·y_j for f's hot loop, and activeMask tracks the
+	// nonzero-α set as a bitmap (bit j ⟺ α_j > 0). Each ay entry is
+	// refreshed from the same two operands the historical `alpha[j] * y[j]`
+	// recomputed per term, so every product f folds carries identical bits,
+	// and the mask is exactly the historical `alpha[j] != 0` skip set.
+	ay := make([]float64, n)
+	activeMask := make([]uint64, (n+63)/64)
+	setActive := func(j int, on bool) {
+		if on {
+			activeMask[j>>6] |= 1 << (j & 63)
+		} else {
+			activeMask[j>>6] &^= 1 << (j & 63)
+		}
+	}
+
+	// f(i) = Σ_j α_j y_j k(i,j) + b — the read every SMO iteration pays.
+	// With the cache present it walks the active bitmap (TrailingZeros
+	// yields ascending j, so the fold order is the historical one) against
+	// the raw float32 cache row: a sweep early in training, when almost
+	// every α is zero, costs n/64 word loads instead of n load-and-tests.
+	// Without the cache, the historical kij fold is unchanged.
 	f := func(i int) float64 {
 		sum := 0.0
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				sum += alpha[j] * y[j] * kij(i, j)
+		if kcache != nil {
+			krow := kcache[i*n : (i+1)*n]
+			for wi, word := range activeMask {
+				base := wi << 6
+				for word != 0 {
+					j := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					sum += ay[j] * float64(krow[j])
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if alpha[j] != 0 {
+					sum += alpha[j] * y[j] * kij(i, j)
+				}
 			}
 		}
 		return sum + b
@@ -242,7 +256,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 			} else if ajNew < L {
 				ajNew = L
 			}
-			if abs(ajNew-aj) < 1e-7 {
+			if math.Abs(ajNew-aj) < 1e-7 {
 				continue
 			}
 			aiNew := ai + y[i]*y[j]*(aj-ajNew)
@@ -257,6 +271,9 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 				b = (b1 + b2) / 2
 			}
 			alpha[i], alpha[j] = aiNew, ajNew
+			ay[i], ay[j] = aiNew*y[i], ajNew*y[j]
+			setActive(i, aiNew > 0)
+			setActive(j, ajNew > 0)
 			changed++
 		}
 		if changed == 0 {
@@ -305,24 +322,3 @@ func (s *SVM) Predict(row []relational.Value) int8 {
 
 // NumSupportVectors returns the size of the retained support set.
 func (s *SVM) NumSupportVectors() int { return len(s.svRows) }
-
-func max(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func abs(a float64) float64 {
-	if a < 0 {
-		return -a
-	}
-	return a
-}

@@ -317,3 +317,37 @@ func TestNameAndKindString(t *testing.T) {
 		t.Fatal("kind names wrong")
 	}
 }
+
+func TestGramBlockedMatchesGramRows(t *testing.T) {
+	// The blocked match-count Gram build (mat.MatchCounts + lookup table,
+	// parallel i-blocks) must reproduce the per-pair Eval build bit for bit
+	// for every kernel kind, across sizes that exercise partial blocks.
+	r := rng.New(97)
+	for _, n := range []int{1, 5, 31, 70} {
+		const d = 6
+		block := make([]relational.Value, n*d)
+		for i := range block {
+			block[i] = relational.Value(r.Intn(4))
+		}
+		rows := make([][]relational.Value, n)
+		for i := range rows {
+			rows[i] = block[i*d : (i+1)*d]
+		}
+		for _, kind := range []KernelKind{Linear, Quadratic, RBF} {
+			k, err := NewKernel(kind, 0.3, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float32, n*n)
+			k.GramRows(want, rows)
+			got := make([]float32, n*n)
+			k.GramBlocked(got, block, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v n=%d: entry (%d,%d) diverged: blocked %v vs rows %v",
+						kind, n, i/n, i%n, got[i], want[i])
+				}
+			}
+		}
+	}
+}
