@@ -8,9 +8,10 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 # The benchmark pairs the regression gate watches: join pipeline, the five
-# row-vs-columnar learner pairs, the serving paths, and the GEMM-vs-scalar
-# compute-kernel pairs (SVM Gram build, batched ANN serving).
-BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm))$$
+# row-vs-columnar learner pairs, the serving paths, the GEMM-vs-scalar
+# compute-kernel pairs (SVM Gram build, batched ANN serving), the zone-map
+# skip pairs, and the segmented-vs-slab parity pairs.
+BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented)$$
 # Time-based benchtime so every bench accumulates several iterations per
 # sample — the nanosecond-scale Serve* benches get millions, the ~100ms Fit
 # benches get a handful — and -count 5 gives benchgate a median that shrugs
@@ -38,10 +39,11 @@ bench-baseline:
 	go test $(BENCH_FLAGS) | tee bench_baseline.txt
 
 # bench-gate reproduces CI's benchmark-regression gate: >20% median ns/op
-# regression on any gated benchmark vs bench_baseline.txt fails, as does a
-# run where no iterative learner shows >=1.5x columnar speedup or the
-# compute-kernel group (SVMFit / ANNFit / the SVM Gram-build pair) lacks a
-# >=1.5x winner.
+# regression on any gated benchmark vs bench_baseline.txt fails, as does any
+# pair group without a winner — some iterative learner >=1.5x columnar, a
+# >=1.5x compute-kernel win (SVMFit / ANNFit / the SVM Gram-build pair), a
+# >=1.5x zone-map skip win, and segmented-engine parity at >=0.95x vs the
+# monolithic slab.
 bench-gate:
 	go test $(BENCH_FLAGS) | tee bench_current.txt
 	go run ./cmd/benchgate -baseline bench_baseline.txt -current bench_current.txt
@@ -58,4 +60,5 @@ fuzz-smoke:
 	go test ./internal/model -run xxx -fuzz 'FuzzCodecRoundTrip$$' -fuzztime 20s
 	go test ./internal/model -run xxx -fuzz 'FuzzDecodeGarbage$$' -fuzztime 20s
 	go test ./internal/relational -run xxx -fuzz 'FuzzColumnarEquivalence$$' -fuzztime 20s
+	go test ./internal/relational -run xxx -fuzz 'FuzzSegmentedEquivalence$$' -fuzztime 20s
 	go test ./internal/mat -run xxx -fuzz 'FuzzMatEquivalence$$' -fuzztime 20s

@@ -423,6 +423,26 @@ func BenchmarkNBFitRowAtATime(b *testing.B) { benchNBFit(b, false) }
 // column scans over width-narrowed columnar storage.
 func BenchmarkNBFitColumnar(b *testing.B) { benchNBFit(b, true) }
 
+// BenchmarkNBFitSegmented re-runs the columnar fit on EngineSegmented: the
+// same morsel fan-out, but spans aligned to segment boundaries and reads
+// routed per segment. Paired against the single-slab Columnar bench at
+// parity (the gate requires segmented >= 0.95x slab, not a speedup):
+// segmentation buys spill capability and skip statistics, and this pair
+// proves it does not tax the hot loops. It sits directly after its pair
+// sibling so the two run back to back — within-run pair ratios stay
+// meaningful even when a long sweep drifts with machine load.
+func BenchmarkNBFitSegmented(b *testing.B) {
+	train := benchTrainSplit(b, core.EngineSegmented)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nb.New(nb.Config{})
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchTreeFit measures one decision-tree Fit — dominated by the per-node
 // split search — under the per-cell map-tally search on the row engine vs
 // the morsel-parallel columnar search on the columnar engine.
@@ -448,6 +468,21 @@ func BenchmarkTreeSplitRowAtATime(b *testing.B) { benchTreeFit(b, false) }
 
 // BenchmarkTreeSplitColumnar is the batched column-scan split search.
 func BenchmarkTreeSplitColumnar(b *testing.B) { benchTreeFit(b, true) }
+
+// BenchmarkTreeSplitSegmented is the segmented parity sibling of
+// BenchmarkTreeSplitColumnar (see BenchmarkNBFitSegmented).
+func BenchmarkTreeSplitSegmented(b *testing.B) {
+	train := benchTrainSplit(b, core.EngineSegmented)
+	cfg := tree.Config{Criterion: tree.Gini, MinSplit: 10, CP: 1e-3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tree.New(cfg)
+		if err := tr.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Iterative-learner benchmarks: row-at-a-time vs columnar epochs. ---
 //
@@ -748,6 +783,221 @@ func BenchmarkServeBatchGemm(b *testing.B) {
 		}
 	}
 }
+
+// --- Segmented-engine benchmarks: zone-map skipping + segment morsels. ---
+
+// segBenchTable builds a segmented fact table whose "band" column is
+// clustered by row position, so every sealed segment covers a narrow value
+// band and an equality predicate is provably absent from all but one or two
+// segments — the selective-scan shape zone maps exist for.
+func segBenchTable(b *testing.B) *relational.SegmentedTable {
+	b.Helper()
+	const n = 1 << 17
+	schema := relational.MustSchema(
+		relational.Column{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)},
+		relational.Column{Name: "band", Kind: relational.KindFeature, Domain: relational.NewDomain("band", 256)},
+		relational.Column{Name: "a", Kind: relational.KindFeature, Domain: relational.NewDomain("a", 64)},
+		relational.Column{Name: "c", Kind: relational.KindFeature, Domain: relational.NewDomain("c", 64)},
+	)
+	st, err := relational.NewSegmentedTable("bench", schema, relational.SegmentOptions{SegmentSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(9)
+	row := make([]relational.Value, 4)
+	for i := 0; i < n; i++ {
+		row[0] = relational.Value(r.Intn(2))
+		row[1] = relational.Value(i * 256 / n)
+		row[2] = relational.Value(r.Intn(64))
+		row[3] = relational.Value(r.Intn(64))
+		st.MustAppendRow(row)
+	}
+	return st
+}
+
+// fullScanRel hides the segmented table's zone-map interface so SelectEq
+// takes the generic scan path over the same physical storage — the ablation
+// sibling that isolates the skip itself from any layout difference.
+type fullScanRel struct{ st *relational.SegmentedTable }
+
+func (f fullScanRel) Schema() *relational.Schema   { return f.st.Schema() }
+func (f fullScanRel) NumRows() int                 { return f.st.NumRows() }
+func (f fullScanRel) At(i, j int) relational.Value { return f.st.At(i, j) }
+func (f fullScanRel) CopyRow(dst []relational.Value, i int) []relational.Value {
+	return f.st.CopyRow(dst, i)
+}
+func (f fullScanRel) ScanColumn(col, from int, dst []relational.Value) int {
+	return f.st.ScanColumn(col, from, dst)
+}
+
+// benchSelectEqSeg measures one selective equality scan over the clustered
+// segmented table, with the zone maps consulted (skip) or hidden (full).
+func benchSelectEqSeg(b *testing.B, skip bool) {
+	st := segBenchTable(b)
+	var src relational.Relation = fullScanRel{st}
+	if skip {
+		src = st
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := relational.SelectEq(src, "hit", 1, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.NumRows() == 0 {
+			b.Fatal("predicate matched nothing; the bench is degenerate")
+		}
+	}
+}
+
+// BenchmarkSelectEqSegFullScan scans every segment for the predicate value.
+func BenchmarkSelectEqSegFullScan(b *testing.B) { benchSelectEqSeg(b, false) }
+
+// BenchmarkSelectEqSegZoneSkip consults per-segment zone maps first and
+// touches only the segments whose [min, max] admits the value.
+func BenchmarkSelectEqSegZoneSkip(b *testing.B) { benchSelectEqSeg(b, true) }
+
+// benchTreeSplitZone measures a tree fit over a segmented dataset padded
+// with constant columns — the shape zone-map feature skipping targets: the
+// skip proves each constant feature irrelevant from its folded [min, max]
+// and never gathers it during split search.
+func benchTreeSplitZone(b *testing.B, skip bool) {
+	const n, nConst = 40000, 6
+	cols := []relational.Column{
+		{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)},
+		{Name: "FK", Kind: relational.KindForeignKey, Domain: relational.NewDomain("RID", 600), Refs: "R"},
+		{Name: "a", Kind: relational.KindFeature, Domain: relational.NewDomain("a", 8)},
+	}
+	for k := 0; k < nConst; k++ {
+		cols = append(cols, relational.Column{
+			Name: "const" + strconv.Itoa(k), Kind: relational.KindFeature,
+			Domain: relational.NewDomain("c"+strconv.Itoa(k), 512),
+		})
+	}
+	st, err := relational.NewSegmentedTable("bench", relational.MustSchema(cols...), relational.SegmentOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(11)
+	row := make([]relational.Value, len(cols))
+	for i := 0; i < n; i++ {
+		fk := relational.Value(r.Intn(600))
+		a := relational.Value(r.Intn(8))
+		row[0] = relational.Value((int(fk)/20 + int(a)) % 2)
+		row[1], row[2] = fk, a
+		for k := 0; k < nConst; k++ {
+			row[3+k] = 300
+		}
+		st.MustAppendRow(row)
+	}
+	ds, err := ml.FromRelation(st, []int{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tree.Config{Criterion: tree.Gini, MinSplit: 10, CP: 1e-3, NoZoneSkip: !skip}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tree.New(cfg)
+		if err := tr.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeSplitZoneFullSearch tallies every feature at every node,
+// constant columns included.
+func BenchmarkTreeSplitZoneFullSearch(b *testing.B) { benchTreeSplitZone(b, false) }
+
+// BenchmarkTreeSplitZoneSkip prunes provably-constant features from the
+// split search via the dataset's zone-map range.
+func BenchmarkTreeSplitZoneSkip(b *testing.B) { benchTreeSplitZone(b, true) }
+
+// benchSegParScan pins the segment-per-morsel fan-out against the
+// single-slab sequential scan it replaces: both sides fold the same column
+// of the same cells into the same sum, the slab in one sequential pass, the
+// segmented table as one ml.ParallelFor task per segment with the partial
+// sums reduced in ascending segment order — the deterministic-reduction
+// discipline every segmented training path follows, so the result is
+// bit-identical while the wall clock scales with cores.
+func benchSegParScan(b *testing.B, parallel bool) {
+	const n, segSize = 1 << 20, 1 << 15
+	schema := relational.MustSchema(
+		relational.Column{Name: "Y", Kind: relational.KindTarget, Domain: relational.NewDomain("Y", 2)},
+		relational.Column{Name: "x", Kind: relational.KindFeature, Domain: relational.NewDomain("x", 4096)},
+	)
+	st, err := relational.NewSegmentedTable("bench", schema, relational.SegmentOptions{SegmentSize: segSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(13)
+	block := make([]relational.Value, 0, 2*segSize)
+	for i := 0; i < n; i++ {
+		block = append(block, relational.Value(r.Intn(2)), relational.Value(r.Intn(4096)))
+		if len(block) == cap(block) {
+			st.MustAppendRows(block)
+			block = block[:0]
+		}
+	}
+	ct := relational.MaterializeColumnar(st, "slab")
+	want := int64(0)
+	buf := make([]relational.Value, segSize)
+	for from := 0; from < n; {
+		m := ct.ScanColumn(1, from, buf)
+		for _, v := range buf[:m] {
+			want += int64(v)
+		}
+		from += m
+	}
+	numSegs := st.NumSegments()
+	partial := make([]int64, numSegs)
+	bufs := make([][]relational.Value, numSegs)
+	for s := range bufs {
+		lo, hi := st.SegmentRows(s)
+		bufs[s] = make([]relational.Value, hi-lo)
+	}
+	// Level the heap state left behind by earlier benches in a long sweep —
+	// both sides of the pair start from the same GC baseline.
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got int64
+		if parallel {
+			ml.ParallelFor(numSegs, func(s int) {
+				lo, _ := st.SegmentRows(s)
+				buf := bufs[s]
+				st.ScanColumn(1, lo, buf)
+				var sum int64
+				for _, v := range buf {
+					sum += int64(v)
+				}
+				partial[s] = sum
+			})
+			for _, p := range partial {
+				got += p
+			}
+		} else {
+			for from := 0; from < n; {
+				m := ct.ScanColumn(1, from, buf)
+				for _, v := range buf[:m] {
+					got += int64(v)
+				}
+				from += m
+			}
+		}
+		if got != want {
+			b.Fatalf("scan folded %d, want %d", got, want)
+		}
+	}
+}
+
+// BenchmarkSegParScanSlab scans the monolithic columnar slab sequentially.
+func BenchmarkSegParScanSlab(b *testing.B) { benchSegParScan(b, false) }
+
+// BenchmarkSegParScanSeg fans one scan task per segment and reduces the
+// partial sums in segment order — bit-identical, core-scaled.
+func BenchmarkSegParScanSeg(b *testing.B) { benchSegParScan(b, true) }
 
 // --- Ablation benches for the design decisions DESIGN.md calls out. ---
 

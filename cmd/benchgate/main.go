@@ -11,10 +11,12 @@
 //     themselves. Groups are ';'-separated lists of pairs; a pair is either
 //     a bare name (Benchmark<name>RowAtATime vs Benchmark<name>Columnar, the
 //     storage-engine convention) or name/slowSuffix/fastSuffix for custom
-//     A/B suffixes (e.g. SVMKernelCache/Scalar/Gemm). Every group must
-//     produce at least one winner, so a logreg-only speedup can no longer
-//     carry the gate — the compute-kernel group requires the win on an ANN
-//     or SVM pair.
+//     A/B suffixes (e.g. SVMKernelCache/Scalar/Gemm). A group may override
+//     the required speedup with an @<ratio> suffix (e.g. `A,B@0.95` — used
+//     by the segmented-engine parity group, whose bar is "no tax vs the
+//     slab", not a speedup). Every group must produce at least one winner,
+//     so a logreg-only speedup can no longer carry the gate — the
+//     compute-kernel group requires the win on an ANN or SVM pair.
 //
 // Medians are taken across repetitions (`-count=N`), mirroring benchstat's
 // robustness to scheduler noise; run benchstat alongside for the
@@ -33,17 +35,24 @@ import (
 	"strings"
 )
 
-// defaultGate covers the storage-engine, compute-kernel, and serving pairs
-// that guard the repository's headline wins: join pipeline, NB fit, tree
-// split search, the iterative-learner pairs, the factorized serving path,
-// and the GEMM-vs-scalar kernel pairs (SVM Gram build, batch serving).
-const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm))$`
+// defaultGate covers the storage-engine, compute-kernel, serving, and
+// segmented-engine pairs that guard the repository's headline wins: join
+// pipeline, NB fit, tree split search, the iterative-learner pairs, the
+// factorized serving path, the GEMM-vs-scalar kernel pairs (SVM Gram build,
+// batch serving), the zone-map skip pairs, and the segmented-vs-slab parity
+// pairs.
+const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented)$`
 
 // defaultPairs is the speedup requirement: the first group keeps the PR 4
 // storage-engine bar (some iterative learner ≥ min-speedup columnar vs row),
 // the second is the compute-kernel bar — the win must land on an ANN or SVM
-// pair (full fit or the Gram-build kernel), not just logreg.
-const defaultPairs = `LogRegFit,SVMFit,ANNFit;SVMFit,ANNFit,SVMKernelCache/Scalar/Gemm`
+// pair (full fit or the Gram-build kernel), not just logreg. The third is
+// the zone-map bar: skipping provably-irrelevant segments or features must
+// beat the full scan. The fourth is the segmented-engine parity bar at
+// @0.95: segment routing must not tax the hot training loops vs the
+// monolithic slab (within noise on one core; the SegParScan pair scales
+// with cores).
+const defaultPairs = `LogRegFit,SVMFit,ANNFit;SVMFit,ANNFit,SVMKernelCache/Scalar/Gemm;SelectEqSeg/FullScan/ZoneSkip,TreeSplitZone/FullSearch/Skip;SegParScan/Slab/Seg,NBFit/Columnar/Segmented,TreeSplit/Columnar/Segmented@0.95`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -85,7 +94,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if *pairs != "" {
 		for _, group := range strings.Split(*pairs, ";") {
-			ok, err := checkPairSpeedup(out, current, strings.Split(group, ","), *minSpeedup)
+			spec, bar, err := groupBar(group, *minSpeedup)
+			if err != nil {
+				return err
+			}
+			ok, err := checkPairSpeedup(out, current, strings.Split(spec, ","), bar)
 			if err != nil {
 				return err
 			}
@@ -146,6 +159,20 @@ func checkRegressions(out io.Writer, baseline, current map[string][]float64, gat
 			status, name, base, c, (ratio-1)*100, maxRegress*100)
 	}
 	return bad
+}
+
+// groupBar splits one -pairs group into its pair list and required speedup:
+// an `@<ratio>` suffix overrides the global -min-speedup for that group.
+func groupBar(group string, def float64) (spec string, bar float64, err error) {
+	spec, barStr, found := strings.Cut(group, "@")
+	if !found {
+		return spec, def, nil
+	}
+	bar, err = strconv.ParseFloat(barStr, 64)
+	if err != nil || bar <= 0 {
+		return "", 0, fmt.Errorf("bad group bar %q: want @<positive ratio>", group)
+	}
+	return spec, bar, nil
 }
 
 // pairNames resolves one -pairs entry to its slow and fast benchmark names:

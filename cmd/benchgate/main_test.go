@@ -17,6 +17,22 @@ BenchmarkServeFactorized-8    	     100	      500 ns/op	    0 B/op	 0 allocs/op
 PASS
 `
 
+// segPairLines satisfies the zone-map and segmented-parity groups the
+// default gate includes: zone skips clear 1.5x, the parity pairs sit at 1.0
+// (enough for the group's @0.95 bar).
+const segPairLines = `
+BenchmarkSelectEqSegFullScan   	      10	  2000000 ns/op
+BenchmarkSelectEqSegZoneSkip   	      10	   100000 ns/op
+BenchmarkTreeSplitZoneFullSearch	      10	  2000000 ns/op
+BenchmarkTreeSplitZoneSkip     	      10	  1200000 ns/op
+BenchmarkSegParScanSlab        	      10	  1000000 ns/op
+BenchmarkSegParScanSeg         	      10	  1000000 ns/op
+BenchmarkNBFitColumnar         	      10	   300000 ns/op
+BenchmarkNBFitSegmented        	      10	   300000 ns/op
+BenchmarkTreeSplitColumnar     	      10	  1000000 ns/op
+BenchmarkTreeSplitSegmented    	      10	  1000000 ns/op
+`
+
 func writeTemp(t *testing.T, name, content string) string {
 	t.Helper()
 	p := filepath.Join(t.TempDir(), name)
@@ -59,7 +75,7 @@ BenchmarkANNFitRowAtATime-4   	      10	  1000000 ns/op
 BenchmarkANNFitColumnar-4     	      10	  1000000 ns/op
 BenchmarkSVMKernelCacheScalar-4	      10	  2000000 ns/op
 BenchmarkSVMKernelCacheGemm-4 	      10	   800000 ns/op
-`)
+`+segPairLines)
 	var sb strings.Builder
 	if err := run([]string{"-baseline", base, "-current", cur}, &sb); err != nil {
 		t.Fatalf("gate failed: %v\n%s", err, sb.String())
@@ -84,7 +100,7 @@ BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
 BenchmarkANNFitColumnar     	      10	  1000000 ns/op
 BenchmarkSVMKernelCacheScalar	      10	  1000000 ns/op
 BenchmarkSVMKernelCacheGemm 	      10	   900000 ns/op
-`)
+`+segPairLines)
 	var sb strings.Builder
 	err := run([]string{"-current", cur}, &sb)
 	if err == nil || !strings.Contains(sb.String(), "FAIL pairs") {
@@ -101,7 +117,7 @@ BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
 BenchmarkANNFitColumnar     	      10	  1000000 ns/op
 BenchmarkSVMKernelCacheScalar	      10	  2500000 ns/op
 BenchmarkSVMKernelCacheGemm 	      10	  1000000 ns/op
-`)
+`+segPairLines)
 	sb.Reset()
 	if err := run([]string{"-current", cur2}, &sb); err != nil {
 		t.Fatalf("gate must pass with an SVM kernel win: %v\n%s", err, sb.String())
@@ -175,7 +191,7 @@ BenchmarkANNFitRowAtATime   	      10	  1000000 ns/op
 BenchmarkANNFitColumnar     	      10	  1100000 ns/op
 BenchmarkSVMKernelCacheScalar	      10	  1000000 ns/op
 BenchmarkSVMKernelCacheGemm 	      10	  1000000 ns/op
-`)
+`+segPairLines)
 	var sb strings.Builder
 	err := run([]string{"-current", cur}, &sb)
 	if err == nil || !strings.Contains(sb.String(), "FAIL pairs") {
@@ -190,6 +206,38 @@ BenchmarkLogRegFitRowAtATime	      10	  1000000 ns/op
 	var sb strings.Builder
 	if err := run([]string{"-current", cur, "-pairs", "LogRegFit"}, &sb); err == nil {
 		t.Fatal("missing columnar sibling must error")
+	}
+}
+
+func TestGroupBarSuffix(t *testing.T) {
+	spec, bar, err := groupBar("A,B@0.95", 1.5)
+	if err != nil || spec != "A,B" || bar != 0.95 {
+		t.Fatalf("groupBar(@0.95) = %q, %v, %v", spec, bar, err)
+	}
+	spec, bar, err = groupBar("A,B", 1.5)
+	if err != nil || spec != "A,B" || bar != 1.5 {
+		t.Fatalf("groupBar(no suffix) = %q, %v, %v", spec, bar, err)
+	}
+	for _, bad := range []string{"A@zero", "A@0", "A@-1"} {
+		if _, _, err := groupBar(bad, 1.5); err == nil {
+			t.Fatalf("groupBar(%q) must reject the bar", bad)
+		}
+	}
+}
+
+func TestGroupBarGatesThePairCheck(t *testing.T) {
+	// Parity at 1.0x clears an @0.95 bar but not an @1.2 one.
+	cur := writeTemp(t, "cur.txt", `
+BenchmarkSegParScanSlab	      10	  1000000 ns/op
+BenchmarkSegParScanSeg 	      10	  1000000 ns/op
+`)
+	var sb strings.Builder
+	if err := run([]string{"-current", cur, "-pairs", "SegParScan/Slab/Seg@0.95"}, &sb); err != nil {
+		t.Fatalf("parity pair must clear @0.95: %v\n%s", err, sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-current", cur, "-pairs", "SegParScan/Slab/Seg@1.2"}, &sb); err == nil {
+		t.Fatalf("parity pair must miss @1.2:\n%s", sb.String())
 	}
 }
 

@@ -8,6 +8,10 @@
 //	datagen -dataset Yelp -scale 64 -out ./data
 //	datagen -all -scale 256 -out ./data
 //	datagen -list
+//
+// -verify round-trips every written CSV back through ReadCSVInto into a
+// segmented columnar table and compares it cell-for-cell against the
+// generated source — the ingestion path CI smoke-tests.
 package main
 
 import (
@@ -35,6 +39,7 @@ func run(args []string) error {
 	scale := fs.Int("scale", 64, "divide dataset cardinalities by this factor")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", ".", "output directory (created if missing)")
+	verify := fs.Bool("verify", false, "re-ingest each written CSV into a segmented columnar table and compare against the source")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,30 +73,75 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeTable(*out, s.Name, ss.Fact); err != nil {
-			return err
-		}
+		tables := []*relational.Table{ss.Fact}
 		for _, dim := range ss.Dimensions {
-			if err := writeTable(*out, s.Name, dim); err != nil {
+			tables = append(tables, dim)
+		}
+		for _, t := range tables {
+			path, err := writeTable(*out, s.Name, t)
+			if err != nil {
 				return err
+			}
+			if *verify {
+				if err := verifyCSV(path, t); err != nil {
+					return err
+				}
 			}
 		}
 		st := dataset.Describe(s.Name, ss)
 		fmt.Printf("%s: fact %d rows, %d dimension table(s)\n", s.Name, st.NS, st.Q)
+		if *verify {
+			fmt.Printf("%s: all tables round-trip through segmented ingestion\n", s.Name)
+		}
 	}
 	return nil
 }
 
-// writeTable writes one table as <dir>/<dataset>_<table>.csv.
-func writeTable(dir, datasetName string, t *relational.Table) error {
-	path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", datasetName, t.Name))
-	f, err := os.Create(path)
+// verifyCSV re-reads a written CSV through the segmented bulk-ingestion path
+// (a small segment size forces several seal boundaries even on scaled-down
+// tables) and compares every cell against the in-memory source.
+func verifyCSV(path string, src *relational.Table) error {
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := relational.WriteCSV(f, t); err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
+	st, err := relational.NewSegmentedTable(src.Name, src.Schema(), relational.SegmentOptions{SegmentSize: 1024})
+	if err != nil {
+		return err
 	}
-	return f.Close()
+	if err := relational.ReadCSVInto(f, st); err != nil {
+		return fmt.Errorf("verifying %s: %w", path, err)
+	}
+	if st.NumRows() != src.NumRows() {
+		return fmt.Errorf("verifying %s: re-ingested %d rows, source has %d", path, st.NumRows(), src.NumRows())
+	}
+	w := src.Schema().Width()
+	a := make([]relational.Value, w)
+	b := make([]relational.Value, w)
+	for i := 0; i < src.NumRows(); i++ {
+		src.CopyRow(a, i)
+		st.CopyRow(b, i)
+		for j := range a {
+			if a[j] != b[j] {
+				return fmt.Errorf("verifying %s: row %d column %d: re-ingested %d, source %d", path, i, j, b[j], a[j])
+			}
+		}
+	}
+	return nil
+}
+
+// writeTable writes one table as <dir>/<dataset>_<table>.csv and returns
+// the path.
+func writeTable(dir, datasetName string, t *relational.Table) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", datasetName, t.Name))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := relational.WriteCSV(f, t); err != nil {
+		return "", fmt.Errorf("writing %s: %w", path, err)
+	}
+	return path, f.Close()
 }

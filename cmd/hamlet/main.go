@@ -17,12 +17,21 @@
 //	hamlet -train -dataset Movies -spec "NaiveBayes(BFS)" -model m.bin [-scale 64 -seed 1]
 //	hamlet -eval -model m.bin [-dataset Movies -scale 64 -seed 1]
 //
+// The segmented engine (-engine seg) materializes the join into fixed-size
+// columnar segments; -segsize tunes the partition and -spilldir/-cachebytes
+// enable the out-of-core tier (segments on disk, LRU cache in memory). Two
+// artifacts can be compared ignoring provenance metadata — the CI proof that
+// an out-of-core run trains bit-identically to an in-memory one:
+//
+//	hamlet -modeldiff other.bin -model m.bin
+//
 // Scale divides every dataset cardinality so the whole study runs on one
 // core; tuple ratios — the quantity the paper's findings depend on — are
 // preserved at every scale.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +41,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/relational"
 	"repro/internal/report"
 )
 
@@ -51,7 +61,11 @@ func run(args []string) error {
 	effort := fs.String("effort", "fast", "hyper-parameter grids: fast or full (paper-exact)")
 	svmCap := fs.Int("svmcap", 400, "SMO training-set cap (0 = unbounded)")
 	seed := fs.Uint64("seed", 1, "random seed")
-	engine := fs.String("engine", "col", "storage engine for experiment data: col (columnar, the default) or row (zero-copy join view)")
+	engine := fs.String("engine", "col", "storage engine for experiment data: col (columnar, the default), row (zero-copy join view), or seg (segmented columnar)")
+	segSize := fs.Int("segsize", 0, "segmented engine: rows per segment (0 = default)")
+	spillDir := fs.String("spilldir", "", "segmented engine: spill sealed segments to a heap file in this directory (out-of-core)")
+	cacheBytes := fs.Int64("cachebytes", 0, "segmented engine: LRU cache budget in bytes for resident spilled segments (0 = never evict)")
+	modelDiff := fs.String("modeldiff", "", "compare the -model artifact against this artifact ignoring metadata; exit nonzero when payloads differ")
 	csvOut := fs.String("csv", "", "also export accuracy cells (tables 2/3/5/6) as CSV to this path")
 	jsonOut := fs.String("json", "", "also export accuracy cells as JSON to this path")
 	serving := fs.Bool("serving", false, "run the serving study: factorized vs per-request-join inference timings")
@@ -85,6 +99,11 @@ func run(args []string) error {
 		return err
 	}
 	o.Engine = eng
+	core.SegmentDefaults = relational.SegmentOptions{
+		SegmentSize: *segSize,
+		SpillDir:    *spillDir,
+		CacheBytes:  *cacheBytes,
+	}
 
 	export := func(cells []experiments.AccuracyCell) error {
 		if *csvOut != "" {
@@ -110,6 +129,9 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *modelDiff != "" {
+		return runModelDiff(*modelPath, *modelDiff, o)
+	}
 	if *train {
 		return runTrain(*modelPath, *datasetName, *specName, o)
 	}
@@ -149,6 +171,43 @@ func run(args []string) error {
 	return fmt.Errorf("nothing to do: pass -table N, -figure 1, or -all")
 }
 
+// runModelDiff compares two artifacts' payloads, ignoring metadata: the
+// artifacts are loaded, their Meta maps (which record provenance — engine,
+// dataset, seed — and legitimately differ between, say, an in-memory and an
+// out-of-core training run) are stripped, and both are re-encoded through
+// the deterministic codec. Identical bytes mean identical fitted models.
+func runModelDiff(pathA, pathB string, o experiments.Options) error {
+	if pathA == "" {
+		return fmt.Errorf("-modeldiff requires -model <path> as the comparison base")
+	}
+	encode := func(path string) ([]byte, string, error) {
+		m, err := model.Load(path)
+		if err != nil {
+			return nil, "", err
+		}
+		m.Meta = nil
+		var buf bytes.Buffer
+		if err := model.Encode(&buf, m); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), m.Kind, nil
+	}
+	a, kindA, err := encode(pathA)
+	if err != nil {
+		return err
+	}
+	b, kindB, err := encode(pathB)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("artifacts differ: %s (%s, %d bytes) vs %s (%s, %d bytes)",
+			pathA, kindA, len(a), pathB, kindB, len(b))
+	}
+	fmt.Fprintf(o.Out, "artifacts identical: %s == %s (%s, %d payload bytes)\n", pathA, pathB, kindA, len(a))
+	return nil
+}
+
 // buildEnv generates a named dataset and prepares the experiment Env.
 func buildEnv(name string, o experiments.Options) (*core.Env, error) {
 	spec, err := dataset.SpecByName(name)
@@ -175,6 +234,10 @@ func runTrain(modelPath, datasetName, specName string, o experiments.Options) er
 	env, err := buildEnv(datasetName, o)
 	if err != nil {
 		return err
+	}
+	defer env.Close()
+	if st, ok := env.Joined.(*relational.SegmentedTable); ok {
+		fmt.Fprintf(o.Out, "segmented join view: %d segments, spilled=%v\n", st.NumSegments(), st.Spilled())
 	}
 	m, res, err := core.BuildArtifact(env, spec, o.Seed, map[string]string{
 		core.MetaDataset: datasetName,
@@ -225,6 +288,7 @@ func runEval(modelPath, datasetName string, o experiments.Options, explicit map[
 	if err != nil {
 		return err
 	}
+	defer env.Close()
 	acc, err := core.EvalArtifact(env, m)
 	if err != nil {
 		return err

@@ -122,6 +122,14 @@ const (
 	// choice when data is scanned only a bounded number of times and the
 	// one-time columnar materialization would dominate.
 	EngineRow
+	// EngineSegmented evaluates the join into a relational.SegmentedTable:
+	// the same width-narrowed columnar storage as EngineColumnar, partitioned
+	// into fixed-size immutable segments with per-segment zone maps. Training
+	// morsels fan out segment-per-task, selective scans skip segments their
+	// zone maps prove irrelevant, and — with SegmentDefaults.SpillDir set —
+	// sealed segments spill to a heap file under an LRU cache budget so fact
+	// tables larger than RAM still train, bit-identically.
+	EngineSegmented
 )
 
 func (e Engine) String() string {
@@ -130,22 +138,33 @@ func (e Engine) String() string {
 		return "row"
 	case EngineColumnar:
 		return "col"
+	case EngineSegmented:
+		return "seg"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
 }
 
-// ParseEngine parses the -engine flag values "row" and "col".
+// ParseEngine parses the -engine flag values "row", "col", and "seg".
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "row":
 		return EngineRow, nil
 	case "col", "columnar":
 		return EngineColumnar, nil
+	case "seg", "segmented":
+		return EngineSegmented, nil
 	default:
-		return EngineColumnar, fmt.Errorf("core: unknown storage engine %q (want row or col)", s)
+		return EngineColumnar, fmt.Errorf("core: unknown storage engine %q (want row, col, or seg)", s)
 	}
 }
+
+// SegmentDefaults configures every SegmentedTable the EngineSegmented env
+// constructor builds: segment size, spill directory, and cache budget.
+// cmd/hamlet's -segsize / -spilldir / -cachebytes flags write it before any
+// env exists; the zero value means in-memory segments of
+// relational.DefaultSegmentSize rows.
+var SegmentDefaults relational.SegmentOptions
 
 // Env is a dataset prepared for experiments: the (factorized) join of a
 // star schema and the paper's fixed 50/25/25 train/validation/test split of
@@ -195,12 +214,31 @@ func NewEnvColumnar(ss *relational.StarSchema, seed uint64) (*Env, error) {
 	return newEnvOver(ss, joined, seed)
 }
 
+// NewEnvSegmented builds the Env on the segmented columnar engine: the
+// factorized join is evaluated once, segment-chunk-at-a-time, into a
+// relational.SegmentedTable configured by SegmentDefaults. With a spill
+// directory the env's joined relation lives mostly on disk; the caller owns
+// the table's lifetime (Env.Close releases the heap file).
+func NewEnvSegmented(ss *relational.StarSchema, seed uint64) (*Env, error) {
+	jv, err := relational.NewJoinView(ss)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := relational.MaterializeSegmented(jv, ss.Fact.Name+"_joined", SegmentDefaults)
+	if err != nil {
+		return nil, err
+	}
+	return newEnvOver(ss, joined, seed)
+}
+
 // NewEnvEngine dispatches on the engine choice — the seam cmd/hamlet's
 // -engine flag plugs into.
 func NewEnvEngine(ss *relational.StarSchema, seed uint64, engine Engine) (*Env, error) {
 	switch engine {
 	case EngineRow:
 		return NewEnvRow(ss, seed)
+	case EngineSegmented:
+		return NewEnvSegmented(ss, seed)
 	default:
 		return NewEnvColumnar(ss, seed)
 	}
@@ -233,6 +271,16 @@ func newEnvOver(ss *relational.StarSchema, joined relational.Relation, seed uint
 		return nil, err
 	}
 	return &Env{Star: ss, Joined: joined, TargetCol: targetCol, Split: split}, nil
+}
+
+// Close releases resources the joined relation holds — the segmented
+// engine's spill heap file. Envs on the other engines need no Close and
+// treat it as a no-op. The env must not be read afterwards.
+func (e *Env) Close() error {
+	if st, ok := e.Joined.(*relational.SegmentedTable); ok {
+		return st.Close()
+	}
+	return nil
 }
 
 // ViewSplits builds the train/validation/test datasets for a feature view,

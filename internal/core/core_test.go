@@ -499,7 +499,10 @@ func TestColumnarEngineMatchesRowEngine(t *testing.T) {
 }
 
 func TestParseEngine(t *testing.T) {
-	for s, want := range map[string]Engine{"row": EngineRow, "col": EngineColumnar, "columnar": EngineColumnar} {
+	for s, want := range map[string]Engine{
+		"row": EngineRow, "col": EngineColumnar, "columnar": EngineColumnar,
+		"seg": EngineSegmented, "segmented": EngineSegmented,
+	} {
 		got, err := ParseEngine(s)
 		if err != nil || got != want {
 			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", s, got, err, want)
@@ -508,8 +511,8 @@ func TestParseEngine(t *testing.T) {
 	if _, err := ParseEngine("paper"); err == nil {
 		t.Fatal("ParseEngine must reject unknown engines")
 	}
-	if EngineRow.String() != "row" || EngineColumnar.String() != "col" {
-		t.Fatalf("engine names: %v %v", EngineRow, EngineColumnar)
+	if EngineRow.String() != "row" || EngineColumnar.String() != "col" || EngineSegmented.String() != "seg" {
+		t.Fatalf("engine names: %v %v %v", EngineRow, EngineColumnar, EngineSegmented)
 	}
 }
 

@@ -46,12 +46,30 @@ func batchBackings(t *testing.T) map[string]*Dataset {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st, err := relational.MaterializeSegmented(jv, "st", relational.SegmentOptions{SegmentSize: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overSegmented, err := FromRelation(st, cols, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selSeg, err := relational.NewSelectView(st, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overSelectSegmented, err := FromRelation(selSeg, cols, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]*Dataset{
 		"dense":                    full.Materialize(),
 		"relation":                 full,
 		"select-over-join":         overSelect,
 		"columnar":                 overColumnar,
 		"select-over-columnar":     overSelectColumnar,
+		"segmented":                overSegmented,
+		"select-over-segmented":    overSelectSegmented,
 		"subset":                   full.Subset(idx),
 		"subset-of-dense":          full.Materialize().Subset(idx),
 		"feature-remap":            full.SelectFeatures([]int{2, 0}),

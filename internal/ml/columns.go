@@ -20,19 +20,82 @@ func columnSpans(n, d int) int {
 	return spans
 }
 
+// segmentSized is implemented by storage engines partitioned into fixed-size
+// segments (relational.SegmentedTable); ScanSpans uses it to align scan
+// tasks to the partition.
+type segmentSized interface{ SegmentSize() int }
+
+// ScanSpans returns the span boundaries the (feature, span) fan-outs cut the
+// example range into: cut points c with c[0] = 0 and c[len(c)-1] = n, span s
+// covering examples [c[s], c[s+1]). When the dataset is an unremapped view
+// over a segmented relation, cuts snap to segment boundaries so every scan
+// task works one segment — one cache pin per task, no mid-task faults, and
+// the segment-per-task parallelism the storage layer is partitioned for
+// (segments are grouped when there are more of them than useful spans, and
+// subdivided when the table is smaller than the worker pool wants).
+// Row-remapped datasets (split views) keep the arithmetic spans: their scans
+// are gathers, not sequential segment walks. Every consumer writes disjoint
+// cells or reduces in span order, so the choice of boundaries affects
+// performance only — results stay bit-identical.
+func ScanSpans(d *Dataset) []int {
+	n := d.NumExamples()
+	target := columnSpans(n, d.NumFeatures())
+	if d.v != nil && d.v.rel != nil && d.v.rows == nil {
+		if ss, ok := d.v.rel.(segmentSized); ok {
+			return segmentCuts(n, ss.SegmentSize(), target)
+		}
+	}
+	cuts := make([]int, target+1)
+	for s := range cuts {
+		cuts[s] = n * s / target
+	}
+	return cuts
+}
+
+// segmentCuts builds segment-aligned cut points covering [0, n): whole
+// segments grouped into target spans when segments abound, per-segment
+// arithmetic subdivision when the worker pool wants more spans than the
+// table has segments.
+func segmentCuts(n, seg, target int) []int {
+	numSegs := (n + seg - 1) / seg
+	if numSegs == 0 {
+		return []int{0, 0}
+	}
+	if numSegs >= target {
+		cuts := make([]int, target+1)
+		for s := 0; s < target; s++ {
+			cuts[s] = seg * (numSegs * s / target)
+		}
+		cuts[target] = n
+		return cuts
+	}
+	parts := (target + numSegs - 1) / numSegs
+	cuts := make([]int, 0, numSegs*parts+1)
+	cuts = append(cuts, 0)
+	for g := 0; g < numSegs; g++ {
+		lo := g * seg
+		hi := min(lo+seg, n)
+		for p := 1; p <= parts; p++ {
+			cuts = append(cuts, lo+(hi-lo)*p/parts)
+		}
+	}
+	return cuts
+}
+
 // forEachFeatureSpan is the shared fan-out skeleton of the one-pass
 // materializers: (feature, span) tasks spread across ml.ParallelFor, each
 // consuming its span of one feature in morsel-sized ScanFeature batches and
-// handing every cell to write(example, feature, value). Callers write
-// disjoint destination cells per (example, feature), so the fan-out is
-// deterministic regardless of scheduling.
+// handing every cell to write(example, feature, value). Spans come from
+// ScanSpans, so over a segmented relation each task stays within one
+// segment. Callers write disjoint destination cells per (example, feature),
+// so the fan-out is deterministic regardless of scheduling.
 func forEachFeatureSpan(d *Dataset, write func(i, j int, v relational.Value)) {
-	n := d.NumExamples()
 	k := d.NumFeatures()
-	spans := columnSpans(n, k)
+	cuts := ScanSpans(d)
+	spans := len(cuts) - 1
 	ParallelFor(k*spans, func(task int) {
 		j, s := task/spans, task%spans
-		lo, hi := n*s/spans, n*(s+1)/spans
+		lo, hi := cuts[s], cuts[s+1]
 		if lo == hi {
 			return
 		}

@@ -315,6 +315,29 @@ func (d *Dataset) ScanLabels(dst []int8, from int) int {
 	return m
 }
 
+// FeatureRange reports the observed [lo, hi] code range of feature j when
+// the backing relation can prove one from resident statistics (a
+// SegmentedTable's zone maps) without scanning any data. ok is false when no
+// bound is available (dense datasets, relations without statistics). The
+// range may be wider than the rows actually visible through this dataset —
+// a split Subset inherits its source's bounds — so it supports only sound
+// over-approximations: lo == hi proves the feature constant (the decision
+// tree skips such features in its split search), nothing more.
+func (d *Dataset) FeatureRange(j int) (lo, hi relational.Value, ok bool) {
+	if d.v == nil || d.v.rel == nil {
+		return 0, 0, false
+	}
+	cr, ranged := d.v.rel.(relational.ColumnRanger)
+	if !ranged {
+		return 0, 0, false
+	}
+	c := j
+	if d.v.cols != nil {
+		c = d.v.cols[j]
+	}
+	return cr.ColumnRange(c)
+}
+
 // Label returns example i's class in {0, 1}.
 func (d *Dataset) Label(i int) int8 {
 	if d.v == nil {

@@ -101,19 +101,19 @@ func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 			classN[y]++
 		}
 		// Fan (feature, span) tasks across the pool: every feature's scan
-		// range is sharded into spans of whole morsels, each task tallies its
-		// span into a private slab, and the slabs merge in (feature, span)
-		// order. Counts are integer-valued sums, so the merged table is
-		// bit-identical to the historical per-feature loop while narrow
-		// feature sets (NoJoin's handful of columns) still saturate the pool.
-		spans := ml.Parallelism((n + fitMorsel - 1) / fitMorsel)
-		if spans < 1 {
-			spans = 1
-		}
+		// range is sharded into spans (ml.ScanSpans — whole morsels, snapped
+		// to segment boundaries over a segmented engine so each task pins one
+		// segment), each task tallies its span into a private slab, and the
+		// slabs merge in (feature, span) order. Counts are integer-valued
+		// sums, so the merged table is bit-identical to the historical
+		// per-feature loop while narrow feature sets (NoJoin's handful of
+		// columns) still saturate the pool.
+		cuts := ml.ScanSpans(train)
+		spans := len(cuts) - 1
 		slabs := make([][]float64, d*spans)
 		ml.ParallelFor(d*spans, func(task int) {
 			j, s := task/spans, task%spans
-			lo, hi := n*s/spans, n*(s+1)/spans
+			lo, hi := cuts[s], cuts[s+1]
 			if lo == hi {
 				return
 			}

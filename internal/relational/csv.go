@@ -42,18 +42,31 @@ func WriteCSV(w io.Writer, t Relation) error {
 // must match the schema's column names exactly and in order. Unlabeled
 // domains expect integer codes; labeled domains expect labels.
 func ReadCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
+	t := NewTable(name, schema, 64)
+	if err := ReadCSVInto(r, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadCSVInto parses a CSV stream into any bulk-ingestible destination —
+// a *Table, or a *SegmentedTable that seals (and, out of core, spills)
+// segments as the staged chunks land. The destination's schema drives
+// parsing exactly as in ReadCSV.
+func ReadCSVInto(r io.Reader, dst BulkTable) error {
+	schema := dst.Schema()
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("relational: csv header: %w", err)
+		return fmt.Errorf("relational: csv header: %w", err)
 	}
 	names := schema.Names()
 	if len(header) != len(names) {
-		return nil, fmt.Errorf("relational: csv has %d columns, schema has %d", len(header), len(names))
+		return fmt.Errorf("relational: csv has %d columns, schema has %d", len(header), len(names))
 	}
 	for i := range names {
 		if header[i] != names[i] {
-			return nil, fmt.Errorf("relational: csv column %d is %q, schema expects %q", i, header[i], names[i])
+			return fmt.Errorf("relational: csv column %d is %q, schema expects %q", i, header[i], names[i])
 		}
 	}
 	// Build label lookup per labeled column.
@@ -67,12 +80,11 @@ func ReadCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
 			lookups[j] = m
 		}
 	}
-	t := NewTable(name, schema, 64)
 	// Rows are staged through the bulk-ingestion path. Domain membership is
 	// checked at parse time (label lookups guarantee it for labeled columns),
 	// which pins the error to the offending line; the bulk append's
 	// per-column revalidation is cheap.
-	bulk := NewBulkAppender(t, 0)
+	bulk := NewBulkAppender(dst, 0)
 	row := make([]Value, schema.Width())
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -80,33 +92,33 @@ func ReadCSV(r io.Reader, name string, schema *Schema) (*Table, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relational: csv line %d: %w", line, err)
+			return fmt.Errorf("relational: csv line %d: %w", line, err)
 		}
 		for j, field := range rec {
 			if lookups[j] != nil {
 				v, ok := lookups[j][field]
 				if !ok {
-					return nil, fmt.Errorf("relational: csv line %d column %q: unknown label %q", line, names[j], field)
+					return fmt.Errorf("relational: csv line %d column %q: unknown label %q", line, names[j], field)
 				}
 				row[j] = v
 				continue
 			}
 			iv, err := strconv.Atoi(field)
 			if err != nil {
-				return nil, fmt.Errorf("relational: csv line %d column %q: %w", line, names[j], err)
+				return fmt.Errorf("relational: csv line %d column %q: %w", line, names[j], err)
 			}
 			if !schema.Cols[j].Domain.Contains(Value(iv)) {
-				return nil, fmt.Errorf("relational: csv line %d column %q: value %d outside domain of size %d",
+				return fmt.Errorf("relational: csv line %d column %q: value %d outside domain of size %d",
 					line, names[j], iv, schema.Cols[j].Domain.Size)
 			}
 			row[j] = Value(iv)
 		}
 		if err := bulk.Append(row); err != nil {
-			return nil, fmt.Errorf("relational: csv: %w", err)
+			return fmt.Errorf("relational: csv: %w", err)
 		}
 	}
 	if err := bulk.Flush(); err != nil {
-		return nil, fmt.Errorf("relational: csv: %w", err)
+		return fmt.Errorf("relational: csv: %w", err)
 	}
-	return t, nil
+	return nil
 }

@@ -27,7 +27,21 @@ func Select(r Relation, name string, pred Predicate) *Table {
 	return out
 }
 
-// SelectEq is Select with an equality predicate on one column.
+// segmentZoned is the zone-map surface SelectEq needs to prove whole
+// segments free of a value. SegmentedTable implements it.
+type segmentZoned interface {
+	Relation
+	ColumnScanner
+	NumSegments() int
+	SegmentRows(s int) (lo, hi int)
+	SegmentMayContain(s, col int, v Value) bool
+}
+
+// SelectEq is Select with an equality predicate on one column. On a
+// segmented source it consults the per-segment zone maps first: a segment
+// whose [min, max] excludes v is skipped without touching its data (or, when
+// spilled, without faulting it in). Matching rows come out in ascending row
+// order either way, so the result is identical to the generic scan.
 func SelectEq(r Relation, name string, col int, v Value) (*Table, error) {
 	schema := r.Schema()
 	if col < 0 || col >= schema.Width() {
@@ -36,7 +50,36 @@ func SelectEq(r Relation, name string, col int, v Value) (*Table, error) {
 	if !schema.Cols[col].Domain.Contains(v) {
 		return nil, fmt.Errorf("relational: value %d outside domain of %q", v, schema.Cols[col].Name)
 	}
+	if sz, ok := r.(segmentZoned); ok {
+		return selectEqZoned(sz, name, col, v), nil
+	}
 	return Select(r, name, func(row []Value) bool { return row[col] == v }), nil
+}
+
+// selectEqZoned is the segment-skipping equality scan: per surviving
+// segment, one sequential scan of the predicate column and a CopyRow per hit.
+func selectEqZoned(r segmentZoned, name string, col int, v Value) *Table {
+	schema := r.Schema()
+	out := NewTable(name, schema, 0)
+	row := make([]Value, schema.Width())
+	var buf []Value
+	for s, ns := 0, r.NumSegments(); s < ns; s++ {
+		if !r.SegmentMayContain(s, col, v) {
+			continue
+		}
+		lo, hi := r.SegmentRows(s)
+		if m := hi - lo; cap(buf) < m {
+			buf = make([]Value, m)
+		}
+		got := r.ScanColumn(col, lo, buf[:hi-lo])
+		for k := 0; k < got; k++ {
+			if buf[k] == v {
+				r.CopyRow(row, lo+k)
+				out.rows = append(out.rows, row...)
+			}
+		}
+	}
+	return out
 }
 
 // Project (relational π) materializes a new table with only the named

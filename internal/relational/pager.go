@@ -1,0 +1,197 @@
+package relational
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// pageSize is the allocation unit of a segment heap file. Segments are
+// serialized as one contiguous blob starting on a page boundary, so a
+// segment read is a single aligned pread and the file layout stays simple
+// enough to inspect with a hex dump: page 0 of every blob starts with the
+// segMagic header.
+const pageSize = 4096
+
+// segMagic marks the first bytes of every on-disk segment blob.
+var segMagic = [4]byte{'S', 'E', 'G', '1'}
+
+// Pager owns one append-only heap file holding spilled segments. Appends are
+// serialized by a mutex; reads use pread (ReadAt) and are safe concurrently
+// with each other and with appends, since a blob is immutable once written
+// and readers only ever ask for offsets the pager has already handed out.
+type Pager struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	end  int64 // next page-aligned write offset
+}
+
+// NewPager creates (truncating) the heap file <dir>/<name>.seg.
+func NewPager(dir, name string) (*Pager, error) {
+	path := filepath.Join(dir, name+".seg")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("relational: pager: %w", err)
+	}
+	return &Pager{f: f, path: path}, nil
+}
+
+// Path returns the heap file's path.
+func (p *Pager) Path() string { return p.path }
+
+// Close closes and removes the heap file.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return nil
+	}
+	err := p.f.Close()
+	if rmErr := os.Remove(p.path); err == nil {
+		err = rmErr
+	}
+	p.f = nil
+	return err
+}
+
+// appendBlob writes blob at the next page boundary and returns its offset.
+func (p *Pager) appendBlob(blob []byte) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil {
+		return 0, fmt.Errorf("relational: pager: closed")
+	}
+	off := p.end
+	if _, err := p.f.WriteAt(blob, off); err != nil {
+		return 0, fmt.Errorf("relational: pager write: %w", err)
+	}
+	pages := (int64(len(blob)) + pageSize - 1) / pageSize
+	p.end = off + pages*pageSize
+	return off, nil
+}
+
+// readBlob preads length bytes at off.
+func (p *Pager) readBlob(off int64, length int) ([]byte, error) {
+	blob := make([]byte, length)
+	if _, err := p.f.ReadAt(blob, off); err != nil {
+		return nil, fmt.Errorf("relational: pager read: %w", err)
+	}
+	return blob, nil
+}
+
+// Column width tags in the serialized segment layout.
+const (
+	widthU8  = 1
+	widthU16 = 2
+	widthU32 = 4
+)
+
+// encodeSegment serializes a sealed segment:
+//
+//	magic | u32 nrows | u32 ncols | ncols × (u8 widthTag | u32 byteLen | raw LE bytes)
+//
+// Codes are stored at their in-memory width, so a spilled segment costs the
+// same bytes on disk as resident (plus the header and page-rounding slack).
+func encodeSegment(s *segment) []byte {
+	size := len(segMagic) + 8
+	for j := range s.cols {
+		size += 5 + colByteLen(&s.cols[j], s.n)
+	}
+	blob := make([]byte, 0, size)
+	blob = append(blob, segMagic[:]...)
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(s.n))
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(len(s.cols)))
+	for j := range s.cols {
+		c := &s.cols[j]
+		switch {
+		case c.u8 != nil:
+			blob = append(blob, widthU8)
+			blob = binary.LittleEndian.AppendUint32(blob, uint32(s.n))
+			blob = append(blob, c.u8[:s.n]...)
+		case c.u16 != nil:
+			blob = append(blob, widthU16)
+			blob = binary.LittleEndian.AppendUint32(blob, uint32(2*s.n))
+			for _, v := range c.u16[:s.n] {
+				blob = binary.LittleEndian.AppendUint16(blob, v)
+			}
+		default:
+			blob = append(blob, widthU32)
+			blob = binary.LittleEndian.AppendUint32(blob, uint32(4*s.n))
+			for _, v := range c.u32[:s.n] {
+				blob = binary.LittleEndian.AppendUint32(blob, uint32(v))
+			}
+		}
+	}
+	return blob
+}
+
+// colByteLen returns the payload bytes of one column at the segment's width.
+func colByteLen(c *colData, n int) int {
+	switch {
+	case c.u8 != nil:
+		return n
+	case c.u16 != nil:
+		return 2 * n
+	default:
+		return 4 * n
+	}
+}
+
+// decodeSegment parses an encodeSegment blob back into a resident segment.
+// Corruption is an error, not a panic: a heap file is external state.
+func decodeSegment(blob []byte, wantRows, wantCols int) (*segment, error) {
+	if len(blob) < len(segMagic)+8 || [4]byte(blob[:4]) != segMagic {
+		return nil, fmt.Errorf("relational: segment blob: bad magic")
+	}
+	n := int(binary.LittleEndian.Uint32(blob[4:]))
+	ncols := int(binary.LittleEndian.Uint32(blob[8:]))
+	if n != wantRows || ncols != wantCols {
+		return nil, fmt.Errorf("relational: segment blob: header %d×%d, expected %d×%d", n, ncols, wantRows, wantCols)
+	}
+	s := &segment{n: n, cols: make([]colData, ncols)}
+	at := len(segMagic) + 8
+	for j := 0; j < ncols; j++ {
+		if at+5 > len(blob) {
+			return nil, fmt.Errorf("relational: segment blob: truncated column %d header", j)
+		}
+		tag := blob[at]
+		length := int(binary.LittleEndian.Uint32(blob[at+1:]))
+		at += 5
+		if at+length > len(blob) {
+			return nil, fmt.Errorf("relational: segment blob: truncated column %d payload", j)
+		}
+		payload := blob[at : at+length]
+		at += length
+		switch tag {
+		case widthU8:
+			if length != n {
+				return nil, fmt.Errorf("relational: segment blob: column %d u8 length %d != %d", j, length, n)
+			}
+			s.cols[j].u8 = append([]uint8(nil), payload...)
+		case widthU16:
+			if length != 2*n {
+				return nil, fmt.Errorf("relational: segment blob: column %d u16 length %d != %d", j, length, 2*n)
+			}
+			vs := make([]uint16, n)
+			for i := range vs {
+				vs[i] = binary.LittleEndian.Uint16(payload[2*i:])
+			}
+			s.cols[j].u16 = vs
+		case widthU32:
+			if length != 4*n {
+				return nil, fmt.Errorf("relational: segment blob: column %d u32 length %d != %d", j, length, 4*n)
+			}
+			vs := make([]Value, n)
+			for i := range vs {
+				vs[i] = Value(binary.LittleEndian.Uint32(payload[4*i:]))
+			}
+			s.cols[j].u32 = vs
+		default:
+			return nil, fmt.Errorf("relational: segment blob: column %d has unknown width tag %d", j, tag)
+		}
+	}
+	return s, nil
+}

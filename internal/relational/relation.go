@@ -26,6 +26,19 @@ type Relation interface {
 	CopyRow(dst []Value, row int) []Value
 }
 
+// ColumnRanger is implemented by relations that can report the observed
+// [min, max] value range of a column without scanning it — SegmentedTable
+// folds its zone maps; views forward to their source. ok is false when no
+// bound is known (empty relation, source without statistics). The returned
+// range may be wider than the rows actually visible through the relation
+// (a SelectView forwards its source's bounds), so consumers may use it only
+// for sound over-approximations: min == max proves a column constant, a
+// value outside [min, max] proves absence, but the bounds themselves are
+// not guaranteed tight.
+type ColumnRanger interface {
+	ColumnRange(col int) (min, max Value, ok bool)
+}
+
 // copyRowGeneric is the At-based CopyRow fallback shared by views.
 func copyRowGeneric(r Relation, dst []Value, row int) []Value {
 	w := r.Schema().Width()
@@ -117,6 +130,8 @@ func (v *SelectView) GatherColumn(dst []Value, col int, rows []int) {
 		s.GatherColumnVia(dst, col, v.idx, rows)
 	case *ColumnarTable:
 		s.GatherColumnVia(dst, col, v.idx, rows)
+	case *SegmentedTable:
+		s.GatherColumnVia(dst, col, v.idx, rows)
 	case *JoinView:
 		s.GatherColumnVia(dst, col, v.idx, rows)
 	default:
@@ -125,6 +140,16 @@ func (v *SelectView) GatherColumn(dst []Value, col int, rows []int) {
 			dst[k] = v.src.At(v.idx[r], col)
 		}
 	}
+}
+
+// ColumnRange implements ColumnRanger by forwarding the source's bounds.
+// The view's rows are a subset of the source's, so the source range is a
+// sound (possibly loose) over-approximation of the view's.
+func (v *SelectView) ColumnRange(col int) (min, max Value, ok bool) {
+	if cr, k := v.src.(ColumnRanger); k && len(v.idx) > 0 {
+		return cr.ColumnRange(col)
+	}
+	return 0, 0, false
 }
 
 // ProjectView is a lazy column-subset view (relational π without
@@ -182,6 +207,14 @@ func (v *ProjectView) ScanColumn(col int, from int, dst []Value) int {
 		dst[k] = v.src.At(from+k, c)
 	}
 	return m
+}
+
+// ColumnRange implements ColumnRanger: a column remap, then forward.
+func (v *ProjectView) ColumnRange(col int) (min, max Value, ok bool) {
+	if cr, k := v.src.(ColumnRanger); k {
+		return cr.ColumnRange(v.cols[col])
+	}
+	return 0, 0, false
 }
 
 // GatherColumn implements ColumnGatherer.

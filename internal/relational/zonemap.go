@@ -1,0 +1,84 @@
+package relational
+
+import "math/bits"
+
+// ZoneMap is the per-(segment, column) statistics block a SegmentedTable
+// keeps resident even when the segment's data has been spilled to disk: the
+// observed min/max code and an approximate distinct count. Scans use it to
+// *prove* a segment irrelevant — an equality predicate outside [Min, Max]
+// cannot match any row, and a column whose zone maps all agree on Min == Max
+// is constant — and skip the segment without faulting it in (the
+// provenance-based data-skipping idea specialized to dictionary codes).
+//
+// Distinct is exact when the column's domain fits the seal-time tracking
+// bitmap (zoneBitmapSlots values) and a collision-lossy underestimate above
+// that; consumers must treat it as a hint (cardinality ordering, skip
+// heuristics), never as a proof. Min/Max are always exact.
+type ZoneMap struct {
+	Min, Max Value
+	Distinct int
+}
+
+// MayContain reports whether value v can occur in the segment's column.
+// False is a proof of absence; true is only an absence of proof.
+func (z ZoneMap) MayContain(v Value) bool { return v >= z.Min && v <= z.Max }
+
+// Constant reports whether every row of the segment's column holds the same
+// value (Min == Max).
+func (z ZoneMap) Constant() bool { return z.Min == z.Max }
+
+// zoneBitmapSlots bounds the seal-time distinct-tracking bitmap: domains up
+// to this size are counted exactly; larger domains hash (mod) into the
+// bitmap, making Distinct an underestimate. 4096 slots = 512 bytes of
+// transient scratch per column, reused across seals.
+const zoneBitmapSlots = 1 << 12
+
+// zoneScratch is the reusable seal-time bitmap.
+type zoneScratch struct {
+	bits []uint64
+}
+
+// buildZoneMap computes the zone map of one sealed column in a single pass.
+func (zs *zoneScratch) buildZoneMap(c *colData, n int, domainSize int) ZoneMap {
+	slots := domainSize
+	if slots > zoneBitmapSlots {
+		slots = zoneBitmapSlots
+	}
+	words := (slots + 63) / 64
+	if cap(zs.bits) < words {
+		zs.bits = make([]uint64, words)
+	}
+	b := zs.bits[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	z := ZoneMap{Min: Value(domainSize), Max: -1}
+	mark := func(v Value) {
+		if v < z.Min {
+			z.Min = v
+		}
+		if v > z.Max {
+			z.Max = v
+		}
+		s := int(v) % slots
+		b[s>>6] |= 1 << (s & 63)
+	}
+	switch {
+	case c.u8 != nil:
+		for _, v := range c.u8[:n] {
+			mark(Value(v))
+		}
+	case c.u16 != nil:
+		for _, v := range c.u16[:n] {
+			mark(Value(v))
+		}
+	default:
+		for _, v := range c.u32[:n] {
+			mark(v)
+		}
+	}
+	for _, w := range b {
+		z.Distinct += bits.OnesCount64(w)
+	}
+	return z
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/model"
+	"repro/internal/nb"
+	"repro/internal/relational"
+)
+
+// TestIngestedSegmentedServesIdentical walks the full ingestion pipeline end
+// to end: star-schema tables dumped to CSV, the joined view re-ingested
+// through ReadCSVInto into a spilled segmented table, NB trained over the
+// segmented (out-of-core) backing, the artifact round-tripped through the
+// codec, and predictions served against the CSV-rebuilt star schema. Every
+// stage is pinned against the single-slab reference: the artifact must be
+// byte-identical to one trained on the in-memory join view, and every
+// served fact-row prediction must match the reference engine bit for bit.
+func TestIngestedSegmentedServesIdentical(t *testing.T) {
+	ss := star(t, "Walmart", 1024)
+
+	// CSV round-trip every base table and rebuild the star schema from the
+	// ingested copies.
+	reload := func(src *relational.Table) *relational.Table {
+		var buf bytes.Buffer
+		if err := relational.WriteCSV(&buf, src); err != nil {
+			t.Fatal(err)
+		}
+		got, err := relational.ReadCSV(&buf, src.Name, src.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	dims := make([]*relational.Table, 0, len(ss.Dimensions))
+	for _, d := range ss.Dimensions {
+		dims = append(dims, reload(d))
+	}
+	ingested, err := relational.NewStarSchema(reload(ss.Fact), dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-ingest the joined view through the segmented bulk path, spilled to
+	// disk under a cache budget far below the table footprint.
+	train, jv := joinAllDataset(t, ss)
+	var joinedCSV bytes.Buffer
+	if err := relational.WriteCSV(&joinedCSV, jv); err != nil {
+		t.Fatal(err)
+	}
+	st, err := relational.NewSegmentedTable("joined", jv.Schema(), relational.SegmentOptions{
+		SegmentSize: 256,
+		SpillDir:    t.TempDir(),
+		CacheBytes:  8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := relational.ReadCSVInto(&joinedCSV, st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Spilled() {
+		t.Fatal("segmented ingest did not spill; out-of-core path untested")
+	}
+	if st.NumRows() != jv.NumRows() {
+		t.Fatalf("ingested %d rows, want %d", st.NumRows(), jv.NumRows())
+	}
+
+	// Train NB on the spilled segmented backing and on the in-memory slab.
+	targetCol := st.Schema().ColumnsOfKind(relational.KindTarget)[0]
+	segTrain, err := ml.ViewDataset(st, targetCol, ml.JoinAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := func(ds *ml.Dataset) []byte {
+		c := nb.New(nb.Config{})
+		if err := c.Fit(ds); err != nil {
+			t.Fatal(err)
+		}
+		m, err := model.New(c, ds.Features, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var raw bytes.Buffer
+		if err := model.Encode(&raw, m); err != nil {
+			t.Fatal(err)
+		}
+		return raw.Bytes()
+	}
+	segBytes, slabBytes := fit(segTrain), fit(train)
+	if !bytes.Equal(segBytes, slabBytes) {
+		t.Fatal("segmented-trained artifact differs from the single-slab artifact")
+	}
+
+	// Serve the segmented-trained artifact over the CSV-rebuilt schema and
+	// pin every fact-row prediction to the slab-trained reference engine.
+	load := func(raw []byte, schema *relational.StarSchema) *Engine {
+		m, err := model.Decode(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(m, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	segEngine := load(segBytes, ingested)
+	refEngine := load(slabBytes, ss)
+	n := ss.Fact.NumRows()
+	req := make([]relational.Value, len(segEngine.InputFeatures()))
+	refReq := make([]relational.Value, len(refEngine.InputFeatures()))
+	for i := 0; i < n; i++ {
+		segEngine.RequestFromFactRow(req, ingested.Fact.Row(i))
+		refEngine.RequestFromFactRow(refReq, ss.Fact.Row(i))
+		got, err := segEngine.Predict(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refEngine.Predict(refReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("row %d: ingested pipeline served %+v, reference served %+v", i, got, want)
+		}
+	}
+}

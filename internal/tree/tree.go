@@ -92,6 +92,13 @@ type Config struct {
 	// The two are bit-identical; the flag exists for A/B benchmarks and
 	// equivalence tests.
 	RowAtATime bool
+	// NoZoneSkip disables the zone-map feature skip in the batched split
+	// search (a feature proven constant by the storage engine's statistics is
+	// never gathered — it cannot split). The skip is bit-identical to
+	// tallying the constant column, since a single-valued feature yields
+	// fewer than two distinct tallies and is discarded anyway; the flag
+	// exists for A/B benchmarks and equivalence tests.
+	NoZoneSkip bool
 }
 
 // DefaultConfig mirrors rpart defaults closely enough for tests.
@@ -445,6 +452,15 @@ func (t *Tree) bestSplitBatch(ds *ml.Dataset, idx []int) *split {
 	var best *split
 	vals := bs.vals[:nodeN]
 	for j := 0; j < ds.NumFeatures(); j++ {
+		if !t.cfg.NoZoneSkip {
+			// Zone-map skip: a feature whose storage-level [min, max] proves
+			// it constant can never produce two tally buckets — skip the
+			// gather entirely. Same outcome as tallying (len(tallies) < 2),
+			// so the fitted tree is unchanged.
+			if lo, hi, ok := ds.FeatureRange(j); ok && lo == hi {
+				continue
+			}
+		}
 		ml.ParallelFor(spans, func(s int) {
 			lo := nodeN * s / spans
 			hi := nodeN * (s + 1) / spans
