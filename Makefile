@@ -10,15 +10,16 @@ SHELL := /bin/bash
 # The benchmark pairs the regression gate watches: join pipeline, the five
 # row-vs-columnar learner pairs, the serving paths, the GEMM-vs-scalar
 # compute-kernel pairs (SVM Gram build, batched ANN serving), the zone-map
-# skip pairs, and the segmented-vs-slab parity pairs.
-BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented)$$
+# skip pairs, the segmented-vs-slab parity pairs, and the concurrent-serving
+# trio (uncoalesced vs coalesced vs factorized-linear under 64 clients).
+BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented|ServeConcurrent(Scalar|Coalesced|Factorized))$$
 # Time-based benchtime so every bench accumulates several iterations per
 # sample — the nanosecond-scale Serve* benches get millions, the ~100ms Fit
 # benches get a handful — and -count 5 gives benchgate a median that shrugs
 # off scheduler spikes. The full sweep takes ~2 minutes on one core.
 BENCH_FLAGS = -run xxx -bench '$(BENCH_REGEX)' -benchtime 1s -count 5 -benchmem .
 
-.PHONY: check test bench bench-baseline bench-gate lint fuzz-smoke
+.PHONY: check test bench bench-baseline bench-gate lint fuzz-smoke load
 
 check: lint test
 
@@ -42,11 +43,25 @@ bench-baseline:
 # regression on any gated benchmark vs bench_baseline.txt fails, as does any
 # pair group without a winner — some iterative learner >=1.5x columnar, a
 # >=1.5x compute-kernel win (SVMFit / ANNFit / the SVM Gram-build pair), a
-# >=1.5x zone-map skip win, and segmented-engine parity at >=0.95x vs the
-# monolithic slab.
+# >=1.5x zone-map skip win, segmented-engine parity at >=0.95x vs the
+# monolithic slab, a >=2x coalesced-vs-scalar concurrent-serving win, and 0
+# allocs/op on the coalesced and factorized-linear serving paths.
 bench-gate:
 	go test $(BENCH_FLAGS) | tee bench_current.txt
 	go run ./cmd/benchgate -baseline bench_baseline.txt -current bench_current.txt
+
+# load runs the closed-loop serving load harness against a freshly trained
+# artifact: train Naive Bayes on the Movies sample, start hamletd, drive it
+# at the default 64 connections for a short burst, and print the latency
+# quantiles, throughput, allocation rate, and coalescer fill report.
+# Override duration/conns with LOAD_FLAGS="-duration 30s -conns 128".
+LOAD_FLAGS = -duration 3s -warmup 500ms
+load:
+	go build -o . ./cmd/hamletd ./cmd/hamletload ./cmd/hamlet
+	./hamlet -train -dataset Movies -spec "NaiveBayes(BFS)" -scale 64 -model /tmp/load_model.bin
+	./hamletd -model /tmp/load_model.bin -addr 127.0.0.1:8099 & \
+	  HPID=$$!; trap "kill $$HPID" EXIT; sleep 0.3; \
+	  ./hamletload -addr 127.0.0.1:8099 $(LOAD_FLAGS)
 
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/ann"
@@ -782,6 +783,141 @@ func BenchmarkServeBatchGemm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchServeEngineANNWide binds a first-layer-dominant MLP (wide hidden
+// layer over the feature-rich Yelp schema, narrow tail) — the regime
+// factorized serving targets: per-request cost is dominated by the z1
+// gather-and-fold that precomputed per-dimension hidden partials and
+// batched flushes amortize, while the dense tail every path must pay stays
+// small. The ServeConcurrent gate pair measures this shape.
+func benchServeEngineANNWide(b *testing.B) (*serve.Engine, [][]relational.Value) {
+	o := benchOptions()
+	spec, err := dataset.SpecByName("Yelp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, o.Scale, o.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jv, err := relational.NewJoinView(ss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targetCol := jv.Schema().ColumnsOfKind(relational.KindTarget)[0]
+	train, err := ml.ViewDataset(jv, targetCol, ml.JoinAll, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ann.New(ann.Config{Hidden1: 128, Hidden2: 4, LearningRate: 1e-2, Epochs: 1, Seed: 7})
+	if err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	artifact, err := model.New(m, train.Features, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(artifact, ss)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := min(ss.Fact.NumRows(), 1024)
+	reqs := make([][]relational.Value, n)
+	for i := range reqs {
+		reqs[i] = engine.RequestFromFactRow(make([]relational.Value, len(engine.InputFeatures())), ss.Fact.Row(i))
+	}
+	return engine, reqs
+}
+
+// serveConcurrency is the client parallelism of the ServeConcurrent trio:
+// enough concurrent callers to fill coalescer batches, matching the
+// load-harness default.
+const serveConcurrency = 64
+
+// setServeParallelism makes RunParallel drive serveConcurrency goroutines
+// regardless of GOMAXPROCS (SetParallelism is a multiplier over procs).
+func setServeParallelism(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((serveConcurrency + procs - 1) / procs)
+}
+
+// BenchmarkServeConcurrentScalar is the uncoalesced baseline of the serving
+// gate: concurrent clients issuing independent per-request predictions
+// against the MLP artifact, each paying the join gather plus a scalar
+// forward pass (which allocates both hidden layers per call).
+func BenchmarkServeConcurrentScalar(b *testing.B) {
+	engine, reqs := benchServeEngineANNWide(b)
+	var ctr atomic.Int64
+	setServeParallelism(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(ctr.Add(1)) * 31
+		for pb.Next() {
+			if _, err := engine.PredictJoined(reqs[i%len(reqs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeConcurrentCoalesced is the same concurrent client stream
+// through a registry slot's coalescer: callers micro-batch into one
+// factorized-first-layer flush (precomputed per-dimension hidden partials +
+// one dense tail pass), amortizing the forward pass across the batch. The
+// benchgate pair requires ≥2x the scalar baseline's throughput.
+func BenchmarkServeConcurrentCoalesced(b *testing.B) {
+	engine, reqs := benchServeEngineANNWide(b)
+	reg := serve.NewRegistry(serve.DefaultCoalescerConfig())
+	slot, err := reg.Register("m", engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctr atomic.Int64
+	setServeParallelism(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(ctr.Add(1)) * 31
+		for pb.Next() {
+			if _, err := slot.Predict(reqs[i%len(reqs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeConcurrentFactorized drives the same concurrency at the
+// linear artifact through the full slot path (snapshot resolve + coalescer
+// fallthrough + factorized score). The gate pins it at 0 allocs/op: the
+// whole serving stack on the factorized path is allocation-free, not just
+// the score.
+func BenchmarkServeConcurrentFactorized(b *testing.B) {
+	engine, reqs := benchServeEngine(b)
+	reg := serve.NewRegistry(serve.DefaultCoalescerConfig())
+	slot, err := reg.Register("m", engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctr atomic.Int64
+	setServeParallelism(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(ctr.Add(1)) * 31
+		for pb.Next() {
+			if _, err := slot.Predict(reqs[i%len(reqs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }
 
 // --- Segmented-engine benchmarks: zone-map skipping + segment morsels. ---

@@ -41,7 +41,7 @@ import (
 // factorized serving path, the GEMM-vs-scalar kernel pairs (SVM Gram build,
 // batch serving), the zone-map skip pairs, and the segmented-vs-slab parity
 // pairs.
-const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented)$`
+const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented|ServeConcurrent(Scalar|Coalesced|Factorized))$`
 
 // defaultPairs is the speedup requirement: the first group keeps the PR 4
 // storage-engine bar (some iterative learner ≥ min-speedup columnar vs row),
@@ -52,7 +52,14 @@ const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegF
 // @0.95: segment routing must not tax the hot training loops vs the
 // monolithic slab (within noise on one core; the SegParScan pair scales
 // with cores).
-const defaultPairs = `LogRegFit,SVMFit,ANNFit;SVMFit,ANNFit,SVMKernelCache/Scalar/Gemm;SelectEqSeg/FullScan/ZoneSkip,TreeSplitZone/FullSearch/Skip;SegParScan/Slab/Seg,NBFit/Columnar/Segmented,TreeSplit/Columnar/Segmented@0.95`
+const defaultPairs = `LogRegFit,SVMFit,ANNFit;SVMFit,ANNFit,SVMKernelCache/Scalar/Gemm;SelectEqSeg/FullScan/ZoneSkip,TreeSplitZone/FullSearch/Skip;SegParScan/Slab/Seg,NBFit/Columnar/Segmented,TreeSplit/Columnar/Segmented@0.95;ServeConcurrent/Scalar/Coalesced@2.0`
+
+// defaultZeroAlloc names the benchmarks whose steady state must allocate
+// nothing: the factorized-linear serving path end to end, and the coalesced
+// path's per-request amortized count (its per-batch setup divides below one
+// allocation per request). A matched benchmark lacking an allocs/op sample
+// fails the gate — the bench run must use -benchmem.
+const defaultZeroAlloc = `^BenchmarkServeConcurrent(Coalesced|Factorized)$`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -69,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum tolerated ns/op regression vs baseline (0.20 = +20%)")
 	pairs := fs.String("pairs", defaultPairs, "';'-separated groups of comma-separated pairs for the speedup check; a pair is <name> (RowAtATime vs Columnar) or <name>/<slow>/<fast> (empty skips)")
 	minSpeedup := fs.Float64("min-speedup", 1.5, "required slow/fast speedup on at least one pair per group")
+	zeroAlloc := fs.String("zero-alloc", defaultZeroAlloc, "regexp of current-run benchmarks that must report 0 allocs/op (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,18 +87,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -gate: %w", err)
 	}
-	current, err := parseBenchFile(*currentPath)
+	current, allocs, err := parseBenchFile(*currentPath)
 	if err != nil {
 		return err
 	}
 
 	failures := 0
 	if *baselinePath != "" {
-		baseline, err := parseBenchFile(*baselinePath)
+		baseline, _, err := parseBenchFile(*baselinePath)
 		if err != nil {
 			return err
 		}
 		failures += checkRegressions(out, baseline, current, gateRE, *maxRegress)
+	}
+	if *zeroAlloc != "" {
+		zaRE, err := regexp.Compile(*zeroAlloc)
+		if err != nil {
+			return fmt.Errorf("bad -zero-alloc: %w", err)
+		}
+		failures += checkZeroAlloc(out, current, allocs, zaRE)
 	}
 	if *pairs != "" {
 		for _, group := range strings.Split(*pairs, ";") {
@@ -161,6 +176,37 @@ func checkRegressions(out io.Writer, baseline, current map[string][]float64, gat
 	return bad
 }
 
+// checkZeroAlloc requires every current benchmark matching the -zero-alloc
+// regexp to report a 0 allocs/op median. A matched benchmark with no
+// allocs/op sample fails too: it means the run skipped -benchmem and the
+// allocation contract went unmeasured. Presence of the benchmarks themselves
+// is the regression gate's job, so a run matching nothing passes here.
+func checkZeroAlloc(out io.Writer, current, allocs map[string][]float64, re *regexp.Regexp) int {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	bad := 0
+	for _, name := range names {
+		a, ok := allocs[name]
+		if !ok {
+			fmt.Fprintf(out, "FAIL %s: no allocs/op sample — run the gated benchmarks with -benchmem\n", name)
+			bad++
+			continue
+		}
+		if m := median(a); m != 0 {
+			fmt.Fprintf(out, "FAIL %s: %g allocs/op, want 0\n", name, m)
+			bad++
+			continue
+		}
+		fmt.Fprintf(out, "ok   %s: 0 allocs/op\n", name)
+	}
+	return bad
+}
+
 // groupBar splits one -pairs group into its pair list and required speedup:
 // an `@<ratio>` suffix overrides the global -min-speedup for that group.
 func groupBar(group string, def float64) (spec string, bar float64, err error) {
@@ -220,27 +266,29 @@ func checkPairSpeedup(out io.Writer, current map[string][]float64, pairs []strin
 	return true, nil
 }
 
-func parseBenchFile(path string) (map[string][]float64, error) {
+func parseBenchFile(path string) (map[string][]float64, map[string][]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	m, err := parseBench(f)
+	m, allocs, err := parseBench(f)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(m) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+		return nil, nil, fmt.Errorf("%s: no benchmark lines found", path)
 	}
-	return m, nil
+	return m, allocs, nil
 }
 
-// parseBench reads `go test -bench` output: one sample per result line,
-// keyed by the benchmark name with its -GOMAXPROCS suffix stripped so
-// baselines recorded at different core counts still compare.
-func parseBench(r io.Reader) (map[string][]float64, error) {
+// parseBench reads `go test -bench` output: one ns/op sample per result
+// line, keyed by the benchmark name with its -GOMAXPROCS suffix stripped so
+// baselines recorded at different core counts still compare. Lines from a
+// -benchmem run also contribute an allocs/op sample to the second map.
+func parseBench(r io.Reader) (map[string][]float64, map[string][]float64, error) {
 	out := map[string][]float64{}
+	allocs := map[string][]float64{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -255,11 +303,22 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		}
 		v, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in line %q: %w", sc.Text(), err)
+			return nil, nil, fmt.Errorf("bad ns/op in line %q: %w", sc.Text(), err)
 		}
 		out[name] = append(out[name], v)
+		for i := 4; i < len(fields); i++ {
+			if fields[i] != "allocs/op" {
+				continue
+			}
+			a, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad allocs/op in line %q: %w", sc.Text(), err)
+			}
+			allocs[name] = append(allocs[name], a)
+			break
+		}
 	}
-	return out, sc.Err()
+	return out, allocs, sc.Err()
 }
 
 // median of a non-empty sample set (mean of the middle two when even).

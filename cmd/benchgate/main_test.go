@@ -31,6 +31,9 @@ BenchmarkNBFitColumnar         	      10	   300000 ns/op
 BenchmarkNBFitSegmented        	      10	   300000 ns/op
 BenchmarkTreeSplitColumnar     	      10	  1000000 ns/op
 BenchmarkTreeSplitSegmented    	      10	  1000000 ns/op
+BenchmarkServeConcurrentScalar 	      10	  2000000 ns/op	    1056 B/op	       2 allocs/op
+BenchmarkServeConcurrentCoalesced	      10	   900000 ns/op	      44 B/op	       0 allocs/op
+BenchmarkServeConcurrentFactorized	     100	       20 ns/op	       0 B/op	       0 allocs/op
 `
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -43,9 +46,12 @@ func writeTemp(t *testing.T, name, content string) string {
 }
 
 func TestParseBenchMediansAndSuffixStripping(t *testing.T) {
-	m, err := parseBench(strings.NewReader(baselineText))
+	m, allocs, err := parseBench(strings.NewReader(baselineText))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := median(allocs["BenchmarkNBFitRowAtATime"]); got != 1 {
+		t.Fatalf("allocs median = %v, want 1", got)
 	}
 	if got := median(m["BenchmarkNBFitRowAtATime"]); got != 1100000 {
 		t.Fatalf("median = %v, want 1100000", got)
@@ -238,6 +244,38 @@ BenchmarkSegParScanSeg 	      10	  1000000 ns/op
 	sb.Reset()
 	if err := run([]string{"-current", cur, "-pairs", "SegParScan/Slab/Seg@1.2"}, &sb); err == nil {
 		t.Fatalf("parity pair must miss @1.2:\n%s", sb.String())
+	}
+}
+
+func TestZeroAllocGate(t *testing.T) {
+	// A matched benchmark allocating per op fails; one with no allocs/op
+	// sample (run without -benchmem) fails too; a clean 0 passes.
+	leaky := writeTemp(t, "leaky.txt", `
+BenchmarkServeConcurrentFactorized	     100	       20 ns/op	      16 B/op	       1 allocs/op
+`)
+	var sb strings.Builder
+	err := run([]string{"-current", leaky, "-pairs", ""}, &sb)
+	if err == nil || !strings.Contains(sb.String(), "1 allocs/op, want 0") {
+		t.Fatalf("allocating benchmark must fail the zero-alloc gate (err %v):\n%s", err, sb.String())
+	}
+	unmeasured := writeTemp(t, "unmeasured.txt", `
+BenchmarkServeConcurrentFactorized	     100	       20 ns/op
+`)
+	sb.Reset()
+	err = run([]string{"-current", unmeasured, "-pairs", ""}, &sb)
+	if err == nil || !strings.Contains(sb.String(), "no allocs/op sample") {
+		t.Fatalf("missing -benchmem sample must fail the zero-alloc gate (err %v):\n%s", err, sb.String())
+	}
+	clean := writeTemp(t, "clean.txt", `
+BenchmarkServeConcurrentFactorized	     100	       20 ns/op	       0 B/op	       0 allocs/op
+`)
+	sb.Reset()
+	if err := run([]string{"-current", clean, "-pairs", ""}, &sb); err != nil {
+		t.Fatalf("0 allocs/op must pass: %v\n%s", err, sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-current", leaky, "-pairs", "", "-zero-alloc", ""}, &sb); err != nil {
+		t.Fatalf("empty -zero-alloc must disable the check: %v\n%s", err, sb.String())
 	}
 }
 

@@ -14,21 +14,33 @@
 // -seed to override. -addr accepts port 0 for an OS-assigned port (the
 // bound address is printed on startup).
 //
-// Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats.
-// Linear-family models (Naive Bayes, logistic regression, linear SVM) are
-// served factorized — one precomputed partial-score lookup per dimension
-// table per request; others fall back to per-request gather through the
-// join view. A ?mode=factorized|joined query parameter pins the path for
-// A/B comparisons.
+// Endpoints: POST /predict, POST /predict_batch, GET /models, POST /swap,
+// GET /healthz, GET /stats. The artifact boots into registry slot "default";
+// POST /swap {"model":"default","path":"new.bin"} hot-swaps it under live
+// traffic (in-flight requests finish against their version) and
+// {"model":"default","version":N} rolls back. Linear-family models
+// (Naive Bayes, logistic regression, linear SVM) are served factorized — one
+// precomputed partial-score lookup per dimension table per request; others
+// fall back to per-request gather through the join view, with concurrent
+// /predict calls micro-batched by the request coalescer (tune with
+// -coalesce-window/-coalesce-batch). A ?mode=factorized|joined query
+// parameter pins the path for A/B comparisons.
+//
+// The daemon exits non-zero when the listen address cannot be bound, and
+// drains in-flight connections for up to -drain on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -37,53 +49,89 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hamletd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
-	srv, addr, err := build(args, out)
+// daemon is a built-but-unbound server: everything except the socket.
+type daemon struct {
+	srv   *serve.Server
+	addr  string
+	drain time.Duration
+}
+
+// run binds the socket and serves until the context is cancelled, then
+// drains connections for up to the -drain timeout before returning.
+func run(ctx context.Context, args []string, out *os.File) error {
+	d, err := build(args, out)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", d.addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("bind %s: %w", d.addr, err)
 	}
 	fmt.Fprintf(out, "hamletd listening on %s\n", ln.Addr())
-	return http.Serve(ln, srv.Handler())
+	hs := &http.Server{Handler: d.srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "hamletd: shutting down, draining for up to %s\n", d.drain)
+	sctx, cancel := context.WithTimeout(context.Background(), d.drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	<-errc // Serve has returned ErrServerClosed
+	return nil
 }
 
 // build parses flags, loads the artifact, regenerates the star schema, and
 // assembles the HTTP server — everything except binding the socket, so
 // tests can drive the handler without a real listener.
-func build(args []string, out *os.File) (*serve.Server, string, error) {
+func build(args []string, out *os.File) (*daemon, error) {
 	fs := flag.NewFlagSet("hamletd", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "model artifact path (required; train with hamlet -train)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 for an OS-assigned port)")
 	datasetName := fs.String("dataset", "", "dataset name (default: artifact metadata)")
 	scale := fs.Int("scale", 0, "dataset scale divisor (default: artifact metadata)")
 	seed := fs.Uint64("seed", 0, "dataset generation seed (default: artifact metadata)")
+	drain := fs.Duration("drain", 5*time.Second, "connection drain timeout on shutdown")
+	window := fs.Duration("coalesce-window", serve.DefaultCoalescerConfig().Window,
+		"request coalescer wait window (0 disables coalescing)")
+	coalesceBatch := fs.Int("coalesce-batch", serve.DefaultCoalescerConfig().MaxBatch,
+		"request coalescer max batch size")
+	maxBody := fs.Int64("max-body", serve.DefaultServerConfig().MaxBodyBytes,
+		"max request body bytes (oversized requests get 413)")
+	maxBatch := fs.Int("max-batch", serve.DefaultServerConfig().MaxBatchLen,
+		"max /predict_batch inputs per request (longer batches get 413)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *modelPath == "" {
-		return nil, "", fmt.Errorf("-model <path> is required")
+		return nil, fmt.Errorf("-model <path> is required")
 	}
 	m, err := model.Load(*modelPath)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 
 	name := *datasetName
 	if name == "" {
 		name = m.Meta[core.MetaDataset]
 		if name == "" {
-			return nil, "", fmt.Errorf("artifact has no dataset metadata; pass -dataset")
+			return nil, fmt.Errorf("artifact has no dataset metadata; pass -dataset")
 		}
 	}
 	sc := *scale
@@ -107,15 +155,19 @@ func build(args []string, out *os.File) (*serve.Server, string, error) {
 
 	spec, err := dataset.SpecByName(name)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	ss, err := dataset.Generate(spec, sc, sd)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	engine, err := serve.NewEngine(m, ss)
 	if err != nil {
-		return nil, "", err
+		return nil, err
+	}
+	reg := serve.NewRegistry(serve.CoalescerConfig{MaxBatch: *coalesceBatch, Window: *window})
+	if _, err := reg.Register("default", engine); err != nil {
+		return nil, err
 	}
 	mode := "joined (gather fallback)"
 	if engine.Factorized() {
@@ -123,5 +175,6 @@ func build(args []string, out *os.File) (*serve.Server, string, error) {
 	}
 	fmt.Fprintf(out, "hamletd: serving %s (%s) on %s scale %d seed %d — %s, %d inputs, %d dimensions\n",
 		m.Kind, m.Fingerprint().Short(), name, sc, sd, mode, len(engine.InputFeatures()), engine.NumDimensions())
-	return serve.NewServer(engine), *addr, nil
+	srv := serve.NewRegistryServer(reg, serve.ServerConfig{MaxBodyBytes: *maxBody, MaxBatchLen: *maxBatch})
+	return &daemon{srv: srv, addr: *addr, drain: *drain}, nil
 }

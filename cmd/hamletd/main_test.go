@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -44,23 +47,28 @@ func trainArtifact(t *testing.T) string {
 	return path
 }
 
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
 // TestBuildAndServe drives the full daemon wiring: artifact → flags →
 // engine → HTTP handler, with dataset/scale defaulted from metadata.
 func TestBuildAndServe(t *testing.T) {
 	path := trainArtifact(t)
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	d, err := build([]string{"-model", path, "-addr", "127.0.0.1:0"}, devNull(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer devnull.Close()
-	srv, addr, err := build([]string{"-model", path, "-addr", "127.0.0.1:0"}, devnull)
-	if err != nil {
-		t.Fatal(err)
+	if d.addr != "127.0.0.1:0" {
+		t.Fatalf("addr = %q", d.addr)
 	}
-	if addr != "127.0.0.1:0" {
-		t.Fatalf("addr = %q", addr)
-	}
-	ts := httptest.NewServer(srv.Handler())
+	ts := httptest.NewServer(d.srv.Handler())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -74,7 +82,7 @@ func TestBuildAndServe(t *testing.T) {
 
 	inputs := make([]map[string]int32, 0, 2)
 	obj := map[string]int32{}
-	for _, f := range srv.Engine().InputFeatures() {
+	for _, f := range d.srv.Engine().InputFeatures() {
 		obj[f.Name] = 0
 	}
 	inputs = append(inputs, obj, obj)
@@ -102,20 +110,87 @@ func TestBuildAndServe(t *testing.T) {
 
 // TestBuildErrors covers flag and artifact validation.
 func TestBuildErrors(t *testing.T) {
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer devnull.Close()
-	if _, _, err := build(nil, devnull); err == nil {
+	out := devNull(t)
+	if _, err := build(nil, out); err == nil {
 		t.Fatal("missing -model accepted")
 	}
-	if _, _, err := build([]string{"-model", "/nonexistent/m.bin"}, devnull); err == nil {
+	if _, err := build([]string{"-model", "/nonexistent/m.bin"}, out); err == nil {
 		t.Fatal("nonexistent artifact accepted")
 	}
 	// A model bound to the wrong dataset must fail with a schema mismatch.
 	path := trainArtifact(t)
-	if _, _, err := build([]string{"-model", path, "-dataset", "Flights"}, devnull); err == nil {
+	if _, err := build([]string{"-model", path, "-dataset", "Flights"}, out); err == nil {
 		t.Fatal("wrong dataset accepted")
+	}
+}
+
+// TestRunGracefulShutdown boots the real daemon on an OS-assigned port,
+// confirms it serves, cancels the run context (the SIGINT/SIGTERM path), and
+// requires run to drain and return nil promptly.
+func TestRunGracefulShutdown(t *testing.T) {
+	path := trainArtifact(t)
+	outPath := filepath.Join(t.TempDir(), "out")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-model", path, "-addr", "127.0.0.1:0", "-drain", "2s"}, out)
+	}()
+
+	// The bound address is printed once the socket is up.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never printed its listen address")
+		}
+		raw, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if rest, ok := strings.CutPrefix(line, "hamletd listening on "); ok {
+				url = "http://" + strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+}
+
+// TestRunBindFailure occupies a port and requires run to fail fast with a
+// bind error rather than serving or hanging.
+func TestRunBindFailure(t *testing.T) {
+	path := trainArtifact(t)
+	ln := httptest.NewServer(http.NotFoundHandler())
+	defer ln.Close()
+	addr := strings.TrimPrefix(ln.URL, "http://")
+
+	err := run(context.Background(), []string{"-model", path, "-addr", addr}, devNull(t))
+	if err == nil || !strings.Contains(err.Error(), "bind") {
+		t.Fatalf("want bind error, got %v", err)
 	}
 }

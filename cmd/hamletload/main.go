@@ -1,0 +1,366 @@
+// Command hamletload is the load harness for hamletd: it discovers a model's
+// input layout from GET /models, synthesizes valid requests, drives
+// concurrent /predict traffic against a live daemon, and reports throughput,
+// tail latency, and server-side allocation counts.
+//
+// Usage:
+//
+//	hamletd    -model m.bin -addr 127.0.0.1:8080 &
+//	hamletload -addr 127.0.0.1:8080 -conns 64 -duration 5s
+//
+// Two drive modes: closed-loop (-rate 0, the default) keeps -conns workers
+// each with one outstanding request — the classic saturation probe; open
+// loop (-rate N) dispatches N requests per second from a pacer regardless of
+// completions, the arrival process that actually exposes queueing delay
+// (coordinated omission is what closed loops hide). In both modes the report
+// gives req/s, p50/p99/p999/max latency, the server's mallocs-per-request
+// delta (from /stats), and the coalescer's batch counters.
+//
+// -min-rps sets a throughput floor: the run exits non-zero below it, which
+// is what lets CI gate serving regressions with a one-line smoke job.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hamletload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	base     string
+	model    string
+	mode     string
+	duration time.Duration
+	warmup   time.Duration
+	conns    int
+	rate     int
+	seed     int64
+	minRPS   float64
+	bodies   int
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("hamletload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "hamletd address (host:port or http URL)")
+	model := fs.String("model", "", "model slot to target (default: the daemon's default slot)")
+	mode := fs.String("mode", "", "forced scoring path: factorized or joined (default: the engine's choice)")
+	duration := fs.Duration("duration", 5*time.Second, "measured load duration")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup before the clock starts")
+	conns := fs.Int("conns", 64, "concurrent workers (closed loop) / max in-flight (open loop)")
+	rate := fs.Int("rate", 0, "open-loop request rate in req/s (0 = closed loop)")
+	seed := fs.Int64("seed", 1, "request synthesis seed")
+	minRPS := fs.Float64("min-rps", 0, "fail (exit 1) below this measured req/s")
+	bodies := fs.Int("bodies", 256, "distinct pre-encoded request bodies to cycle through")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if *conns <= 0 {
+		return config{}, fmt.Errorf("-conns must be positive")
+	}
+	return config{
+		base: base, model: *model, mode: *mode,
+		duration: *duration, warmup: *warmup,
+		conns: *conns, rate: *rate, seed: *seed,
+		minRPS: *minRPS, bodies: *bodies,
+	}, nil
+}
+
+// modelsResponse mirrors hamletd's GET /models shape.
+type modelsResponse struct {
+	Models []struct {
+		Name       string `json:"name"`
+		Version    int    `json:"version"`
+		Kind       string `json:"kind"`
+		Factorized bool   `json:"factorized"`
+		Batched    bool   `json:"batched"`
+		Inputs     []struct {
+			Name        string `json:"name"`
+			Cardinality int    `json:"cardinality"`
+		} `json:"inputs"`
+	} `json:"models"`
+}
+
+// statsSnapshot is the slice of GET /stats the report needs.
+type statsSnapshot struct {
+	Mallocs   uint64 `json:"mallocs"`
+	Examples  int64  `json:"examples"`
+	Errors    int64  `json:"errors"`
+	Coalescer map[string]struct {
+		Batches   uint64 `json:"batches"`
+		Coalesced uint64 `json:"coalesced"`
+		Direct    uint64 `json:"direct"`
+	} `json:"coalescer"`
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// synthesize pre-encodes cfg.bodies random valid /predict bodies for the
+// chosen model, using the advertised cardinalities so every request passes
+// domain validation and the run measures serving, not error handling.
+func synthesize(cfg config, models modelsResponse) ([][]byte, string, error) {
+	idx := 0
+	if cfg.model != "" {
+		idx = -1
+		for i, m := range models.Models {
+			if m.Name == cfg.model {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, "", fmt.Errorf("daemon has no model %q", cfg.model)
+		}
+	}
+	if len(models.Models) == 0 {
+		return nil, "", fmt.Errorf("daemon serves no models")
+	}
+	m := models.Models[idx]
+	rng := rand.New(rand.NewSource(cfg.seed))
+	bodies := make([][]byte, cfg.bodies)
+	var buf bytes.Buffer
+	for i := range bodies {
+		buf.Reset()
+		buf.WriteString(`{"input":{`)
+		for j, in := range m.Inputs {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "%q:%d", in.Name, rng.Intn(in.Cardinality))
+		}
+		buf.WriteString("}}")
+		bodies[i] = append([]byte(nil), buf.Bytes()...)
+	}
+	return bodies, fmt.Sprintf("%s v%d (%s, factorized=%v, batched=%v)",
+		m.Name, m.Version, m.Kind, m.Factorized, m.Batched), nil
+}
+
+// recorder accumulates latencies across workers.
+type recorder struct {
+	mu   sync.Mutex
+	lat  []time.Duration
+	errs int
+}
+
+func (r *recorder) add(lats []time.Duration, errs int) {
+	r.mu.Lock()
+	r.lat = append(r.lat, lats...)
+	r.errs += errs
+	r.mu.Unlock()
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.conns * 2,
+			MaxIdleConnsPerHost: cfg.conns * 2,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+
+	var models modelsResponse
+	if err := getJSON(client, cfg.base+"/models", &models); err != nil {
+		return fmt.Errorf("discovering input layout: %w", err)
+	}
+	bodies, target, err := synthesize(cfg, models)
+	if err != nil {
+		return err
+	}
+	url := cfg.base + "/predict"
+	q := []string{}
+	if cfg.model != "" {
+		q = append(q, "model="+cfg.model)
+	}
+	if cfg.mode != "" {
+		q = append(q, "mode="+cfg.mode)
+	}
+	if len(q) > 0 {
+		url += "?" + strings.Join(q, "&")
+	}
+
+	shoot := func(body []byte) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %s", resp.Status)
+		}
+		return time.Since(start), nil
+	}
+
+	// Warmup: fill connection pools and JIT the serving path off the clock.
+	if cfg.warmup > 0 {
+		stopAt := time.Now().Add(cfg.warmup)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.conns; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; time.Now().Before(stopAt); i++ {
+					shoot(bodies[i%len(bodies)])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	var before statsSnapshot
+	if err := getJSON(client, cfg.base+"/stats", &before); err != nil {
+		return fmt.Errorf("reading /stats: %w", err)
+	}
+
+	rec := &recorder{}
+	begin := time.Now()
+	deadline := begin.Add(cfg.duration)
+	if cfg.rate > 0 {
+		// Open loop: a pacer releases request slots on schedule; each fires
+		// in its own goroutine, bounded only by -conns in-flight (a full
+		// window blocks the pacer, which the report surfaces as reduced
+		// throughput rather than silently thinning the arrival process).
+		sem := make(chan struct{}, cfg.conns)
+		var wg sync.WaitGroup
+		interval := time.Second / time.Duration(cfg.rate)
+		next := begin
+		for i := 0; ; i++ {
+			now := time.Now()
+			if !now.Before(deadline) {
+				break
+			}
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(interval)
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer func() { <-sem; wg.Done() }()
+				lat, err := shoot(bodies[i%len(bodies)])
+				if err != nil {
+					rec.add(nil, 1)
+					return
+				}
+				rec.add([]time.Duration{lat}, 0)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		// Closed loop: one outstanding request per worker.
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.conns; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lats := make([]time.Duration, 0, 4096)
+				errs := 0
+				for i := w; time.Now().Before(deadline); i += cfg.conns {
+					lat, err := shoot(bodies[i%len(bodies)])
+					if err != nil {
+						errs++
+						continue
+					}
+					lats = append(lats, lat)
+				}
+				rec.add(lats, errs)
+			}(w)
+		}
+		wg.Wait()
+	}
+	elapsed := time.Since(begin)
+
+	var after statsSnapshot
+	if err := getJSON(client, cfg.base+"/stats", &after); err != nil {
+		return fmt.Errorf("reading /stats: %w", err)
+	}
+
+	n := len(rec.lat)
+	rps := float64(n) / elapsed.Seconds()
+	sort.Slice(rec.lat, func(i, j int) bool { return rec.lat[i] < rec.lat[j] })
+	fmt.Fprintf(out, "hamletload: target %s via %s\n", target, url)
+	fmt.Fprintf(out, "%d requests in %.2fs: %.1f req/s, %d errors\n", n, elapsed.Seconds(), rps, rec.errs)
+	if n > 0 {
+		fmt.Fprintf(out, "latency: p50 %s  p99 %s  p999 %s  max %s\n",
+			percentile(rec.lat, 0.50), percentile(rec.lat, 0.99),
+			percentile(rec.lat, 0.999), rec.lat[n-1])
+	}
+	if served := after.Examples - before.Examples; served > 0 {
+		fmt.Fprintf(out, "server: %.1f mallocs/req (%d mallocs over %d served)\n",
+			float64(after.Mallocs-before.Mallocs)/float64(served),
+			after.Mallocs-before.Mallocs, served)
+	}
+	var batches, coalesced, direct uint64
+	for name, c := range after.Coalescer {
+		b := before.Coalescer[name]
+		batches += c.Batches - b.Batches
+		coalesced += c.Coalesced - b.Coalesced
+		direct += c.Direct - b.Direct
+	}
+	if batches > 0 {
+		fmt.Fprintf(out, "coalescer: %d batches, %d coalesced (avg batch %.1f), %d direct\n",
+			batches, coalesced, float64(coalesced)/float64(batches), direct)
+	} else {
+		fmt.Fprintf(out, "coalescer: 0 batches, %d direct\n", direct)
+	}
+	if errs := after.Errors - before.Errors; errs > 0 {
+		fmt.Fprintf(out, "server: %d errored requests during run\n", errs)
+	}
+	if rec.errs > 0 && n == 0 {
+		return fmt.Errorf("all %d requests failed", rec.errs)
+	}
+	if cfg.minRPS > 0 && rps < cfg.minRPS {
+		return fmt.Errorf("throughput %.1f req/s below floor %.1f", rps, cfg.minRPS)
+	}
+	return nil
+}

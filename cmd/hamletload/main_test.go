@@ -1,0 +1,92 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+// testDaemon boots an in-process serving stack identical to hamletd's:
+// trained NB artifact, factorized engine, registry server.
+func testDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	spec, err := dataset.SpecByName("Movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := core.NewEnv(ss, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := core.BuildArtifact(env, core.NaiveBayesBFSSpec(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.NewEngine(m, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(e).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadClosedLoop drives a short closed-loop burst and checks the report.
+func TestLoadClosedLoop(t *testing.T) {
+	ts := testDaemon(t)
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL, "-duration", "300ms", "-warmup", "50ms",
+		"-conns", "8", "-min-rps", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"req/s", "latency: p50", "mallocs/req", "coalescer:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestLoadOpenLoop exercises the paced arrival path.
+func TestLoadOpenLoop(t *testing.T) {
+	ts := testDaemon(t)
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL, "-duration", "300ms", "-warmup", "0s",
+		"-conns", "8", "-rate", "200",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "req/s") {
+		t.Errorf("report missing throughput:\n%s", out.String())
+	}
+}
+
+// TestLoadFailures covers the gating exits: unreachable floor and unknown
+// model slot.
+func TestLoadFailures(t *testing.T) {
+	ts := testDaemon(t)
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL, "-duration", "200ms", "-warmup", "0s",
+		"-conns", "4", "-min-rps", "1e12",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Fatalf("want throughput-floor error, got %v", err)
+	}
+	if err := run([]string{"-addr", ts.URL, "-model", "nope", "-duration", "100ms"}, &out); err == nil {
+		t.Fatal("unknown model slot accepted")
+	}
+}

@@ -3,6 +3,7 @@ package ann
 import (
 	"fmt"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 )
 
@@ -73,4 +74,55 @@ func FromParams(features []ml.Feature, p Params) (*MLP, error) {
 	m.w3 = append([]float64(nil), p.W3...)
 	m.b3 = p.B3
 	return m, nil
+}
+
+// ExportHiddenLinear implements ml.HiddenLinearExporter: the MLP's input
+// layer is exactly the exported form — one Hidden1-wide embedding row per
+// one-hot dimension plus the layer bias — and everything after it is a dense
+// function of that hidden vector. The returned slices are copies.
+func (m *MLP) ExportHiddenLinear(features []ml.Feature) ([]float64, []float64, int, bool) {
+	if m.enc == nil || len(features) != len(m.enc.Offsets) || ml.NewEncoder(features).Dims != m.enc.Dims {
+		return nil, nil, 0, false
+	}
+	return append([]float64(nil), m.b1...), append([]float64(nil), m.w1...), m.cfg.Hidden1, true
+}
+
+// ClassifyHidden implements ml.HiddenLinearExporter: given n first-layer
+// pre-activations packed row-major in z (clobbered as scratch), it applies
+// ReLU, the dense layers (mat.Gemm/Gemv, whose sequential k-accumulation
+// makes each output element bit-identical to Probability's loops for
+// identical z), and classifies on the sign of the logit — sigmoid is
+// monotone with sigmoid(0) = 0.5, so z3 >= 0 is exactly Probability >= 0.5.
+func (m *MLP) ClassifyHidden(dst []int8, z []float64, n int) {
+	if n == 0 {
+		return
+	}
+	h1, h2 := m.cfg.Hidden1, m.cfg.Hidden2
+	for i, v := range z[:n*h1] {
+		if v < 0 {
+			z[i] = 0
+		}
+	}
+	z2 := make([]float64, n*h2)
+	for t := 0; t < n; t++ {
+		copy(z2[t*h2:(t+1)*h2], m.b2)
+	}
+	mat.Gemm(z2, h2, z, h1, m.w2, h2, n, h2, h1)
+	for i, v := range z2 {
+		if v < 0 {
+			z2[i] = 0
+		}
+	}
+	z3 := make([]float64, n)
+	for t := range z3 {
+		z3[t] = m.b3
+	}
+	mat.Gemv(z3, z2, h2, m.w3, n, h2)
+	for t := 0; t < n; t++ {
+		if z3[t] >= 0 {
+			dst[t] = 1
+		} else {
+			dst[t] = 0
+		}
+	}
 }

@@ -108,6 +108,10 @@ func GemvT(y []float64, a []float64, lda int, x []float64, m, n int) {
 // stays outermost-per-element and ascending, so every C[i,j] accumulates its
 // k terms in exactly the order of the scalar dot-product loop.
 func Gemm(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, n, k int) {
+	if n <= smallGemmN {
+		gemmSmallN(c, ldc, a, lda, b, ldb, m, n, k)
+		return
+	}
 	i := 0
 	for ; i+2 <= m; i += 2 {
 		c0 := c[i*ldc : i*ldc+n]
@@ -139,6 +143,89 @@ func Gemm(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, n
 		ai := a[i*lda : i*lda+k]
 		for kk := 0; kk < k; kk++ {
 			Axpy(ai[kk], b[kk*ldb:kk*ldb+n], ci)
+		}
+	}
+}
+
+// smallGemmN is the C width at or below which Gemm switches to the
+// register-accumulator kernel. Narrow C is the serving tail's shape (a wide
+// hidden layer funneling into a few output units): the streaming kernel
+// loads and stores every C element once per k step, so for n this small the
+// memory traffic on C dwarfs the flops. Measured on the reference box, the
+// crossover sits between 8 and 16 columns.
+const smallGemmN = 8
+
+// gemmSmallN computes the same C += A·B for narrow C with the k loop
+// innermost and the accumulation held in registers: each C element is read
+// and written exactly once instead of k times. The i loop is blocked two
+// rows at a time so both rows share each streamed B row, and the j loop four
+// columns at a time. Every C[i,j] still sums its k terms in ascending k
+// order through a single chain, so the result is bit-identical to the
+// streaming kernel (FuzzMatEquivalence pins this).
+func gemmSmallN(c []float64, ldc int, a []float64, lda int, b []float64, ldb int, m, n, k int) {
+	if k == 0 {
+		return
+	}
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		a0 := a[i*lda : i*lda+k]
+		a1 := a[(i+1)*lda : (i+1)*lda+k]
+		c0 := c[i*ldc : i*ldc+n]
+		c1 := c[(i+1)*ldc : (i+1)*ldc+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s00, s01, s02, s03 := c0[j], c0[j+1], c0[j+2], c0[j+3]
+			s10, s11, s12, s13 := c1[j], c1[j+1], c1[j+2], c1[j+3]
+			bj := b[j:]
+			for kk, av0 := range a0 {
+				bk := bj[kk*ldb : kk*ldb+4]
+				av1 := a1[kk]
+				s00 += av0 * bk[0]
+				s01 += av0 * bk[1]
+				s02 += av0 * bk[2]
+				s03 += av0 * bk[3]
+				s10 += av1 * bk[0]
+				s11 += av1 * bk[1]
+				s12 += av1 * bk[2]
+				s13 += av1 * bk[3]
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			s0, s1 := c0[j], c1[j]
+			bj := b[j:]
+			for kk, av0 := range a0 {
+				bv := bj[kk*ldb]
+				s0 += av0 * bv
+				s1 += a1[kk] * bv
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	for ; i < m; i++ {
+		ai := a[i*lda : i*lda+k]
+		ci := c[i*ldc : i*ldc+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := ci[j], ci[j+1], ci[j+2], ci[j+3]
+			bj := b[j:]
+			for kk, av := range ai {
+				bk := bj[kk*ldb : kk*ldb+4]
+				s0 += av * bk[0]
+				s1 += av * bk[1]
+				s2 += av * bk[2]
+				s3 += av * bk[3]
+			}
+			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			s := ci[j]
+			bj := b[j:]
+			for kk, av := range ai {
+				s += av * bj[kk*ldb]
+			}
+			ci[j] = s
 		}
 	}
 }

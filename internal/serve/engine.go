@@ -29,6 +29,7 @@ package serve
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/model"
@@ -73,6 +74,9 @@ type dimGroup struct {
 	fkInput  int
 	feats    []dimFeat
 	partials []float64
+	// hpartial is the hidden-factorized sibling of partials: row r holds the
+	// dimension's h-wide contribution to the first-layer pre-activation.
+	hpartial []float64
 }
 
 // Engine scores requests against one model over one star schema. It is
@@ -85,6 +89,7 @@ type Engine struct {
 	jv     *relational.JoinView
 
 	inputs       []InputFeature
+	inputIndex   map[string]int
 	inputFactCol []int
 	factFeats    []factSlot
 	groups       []dimGroup
@@ -96,6 +101,22 @@ type Engine struct {
 	bias   float64
 	w      []float64
 	enc    *ml.Encoder
+
+	// hidden marks the factorized-first-layer path for models whose input
+	// layer is linear in the one-hot features (the MLP): hb/hw are the
+	// exported layer (bias + one hwidth-wide row per one-hot dimension) and
+	// each dimGroup.hpartial hoists a dimension's whole first-layer
+	// contribution into a per-row vector, so a batched forward pass never
+	// gathers dimension rows at all.
+	hidden bool
+	hf     ml.HiddenLinearExporter
+	hb     []float64
+	hw     []float64
+	hwidth int
+
+	bp ml.BatchPredictor // non-nil when the classifier batch-classifies
+
+	scratchPool sync.Pool
 }
 
 // joinAllFeatures derives the JoinAll feature schema of a star schema's
@@ -262,6 +283,44 @@ func NewEngine(m *model.Model, ss *relational.StarSchema) (*Engine, error) {
 			}
 		}
 	}
+
+	// Hidden-factorized mode: the same per-dimension hoist one layer into a
+	// network whose *input* layer is linear in the features (the MLP). Each
+	// dimension row's embedding-row sum collapses into one precomputed
+	// hwidth-vector, folded in model order per group — the first-layer
+	// analogue of the linear partials. Only taken for pure classifiers
+	// (no Scorer): the batched forward emits classes, and dropping a score
+	// the per-request path would have carried must never depend on load.
+	if !e.linear && e.scorer == nil {
+		if hf, ok := cls.(ml.HiddenLinearExporter); ok {
+			if hb, hw, h, ok := hf.ExportHiddenLinear(m.Features); ok && h > 0 {
+				e.hidden = true
+				e.hf = hf
+				e.hb, e.hw, e.hwidth = hb, hw, h
+				e.enc = ml.NewEncoder(m.Features)
+				for gi := range e.groups {
+					g := &e.groups[gi]
+					g.hpartial = make([]float64, g.dim.NumRows()*h)
+					for r := 0; r < g.dim.NumRows(); r++ {
+						row := g.hpartial[r*h : (r+1)*h]
+						for _, f := range g.feats {
+							w := e.hw[(e.enc.Offsets[f.modelIdx]+int(g.dim.At(r, f.dimCol)))*h:][:h]
+							for u := range row {
+								row[u] += w[u]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if bp, ok := cls.(ml.BatchPredictor); ok {
+		e.bp = bp
+	}
+	e.inputIndex = make(map[string]int, len(e.inputs))
+	for i, f := range e.inputs {
+		e.inputIndex[f.Name] = i
+	}
 	return e, nil
 }
 
@@ -286,8 +345,29 @@ func (e *Engine) Model() *model.Model { return e.mdl }
 // per-dimension partials (linear models) rather than per-request gathers.
 func (e *Engine) Factorized() bool { return e.linear }
 
+// HiddenFactorized reports whether batched scoring folds precomputed
+// per-dimension first-layer partials (the MLP path) instead of gathering
+// dimension rows per request.
+func (e *Engine) HiddenFactorized() bool { return e.hidden }
+
+// BatchServeable reports whether batching concurrent requests into one call
+// buys this engine anything: a factorized first layer or a batch-classifying
+// model. Linear engines are excluded on purpose — their factorized score is
+// a handful of adds, far cheaper than any batching handoff — as are gather
+// fallbacks with no batch form (tree, kNN). The coalescer scores any engine
+// correctly; this is the routing hint for when it should be in the path.
+func (e *Engine) BatchServeable() bool {
+	return e.hidden || (e.bp != nil && !e.linear && e.scorer == nil)
+}
+
 // InputFeatures returns the request layout: one value per entry, in order.
 func (e *Engine) InputFeatures() []InputFeature { return e.inputs }
+
+// InputIndex resolves an input feature name to its request position.
+func (e *Engine) InputIndex(name string) (int, bool) {
+	i, ok := e.inputIndex[name]
+	return i, ok
+}
 
 // NumDimensions returns the number of dimension tables the model reads
 // features from.
@@ -378,6 +458,17 @@ func (e *Engine) newScratch() *scratch {
 	}
 }
 
+// getScratch checks a scratch out of the engine's pool so steady-state
+// gather-path requests allocate nothing; putScratch returns it.
+func (e *Engine) getScratch() *scratch {
+	if sc, ok := e.scratchPool.Get().(*scratch); ok {
+		return sc
+	}
+	return e.newScratch()
+}
+
+func (e *Engine) putScratch(sc *scratch) { e.scratchPool.Put(sc) }
+
 // assembleModelRow materializes the joined row for a request through the
 // JoinView's per-dimension plans, then projects it to model feature order.
 func (e *Engine) assembleModelRow(sc *scratch, req []relational.Value) []relational.Value {
@@ -423,7 +514,10 @@ func (e *Engine) PredictJoined(req []relational.Value) (Prediction, error) {
 	if err := e.Validate(req); err != nil {
 		return Prediction{}, err
 	}
-	return e.predictJoinedInto(e.newScratch(), req), nil
+	sc := e.getScratch()
+	p := e.predictJoinedInto(sc, req)
+	e.putScratch(sc)
+	return p, nil
 }
 
 // predictJoinedInto is PredictJoined after validation, with caller scratch.
@@ -481,16 +575,35 @@ func (e *Engine) PredictBatch(reqs [][]relational.Value) ([]Prediction, error) {
 	}
 	out := make([]Prediction, len(reqs))
 	chunks := (len(reqs) + predictBatchMorsel - 1) / predictBatchMorsel
-	if bp, ok := e.cls.(ml.BatchPredictor); ok && !e.linear && e.scorer == nil {
+	if e.hidden {
+		// Factorized first layer: each chunk builds its block of first-layer
+		// pre-activations straight from the request vectors (bias + fact
+		// embedding rows + one hoisted partial vector per dimension — no
+		// gather), then one dense tail pass classifies the block.
+		ml.ParallelFor(chunks, func(c int) {
+			lo := c * predictBatchMorsel
+			hi := min(lo+predictBatchMorsel, len(reqs))
+			z := make([]float64, (hi-lo)*e.hwidth)
+			cls := make([]int8, hi-lo)
+			e.buildHiddenInto(z, reqs, lo, hi)
+			e.hf.ClassifyHidden(cls, z, hi-lo)
+			for i := lo; i < hi; i++ {
+				out[i] = Prediction{Class: cls[i-lo]}
+			}
+		})
+		return out, nil
+	}
+	if bp := e.bp; bp != nil && !e.linear && e.scorer == nil {
 		w := len(e.mdl.Features)
 		block := make([]relational.Value, len(reqs)*w)
 		ml.ParallelFor(chunks, func(c int) {
 			lo := c * predictBatchMorsel
 			hi := min(lo+predictBatchMorsel, len(reqs))
-			sc := e.newScratch()
+			sc := e.getScratch()
 			for i := lo; i < hi; i++ {
 				copy(block[i*w:(i+1)*w], e.assembleModelRow(sc, reqs[i]))
 			}
+			e.putScratch(sc)
 		})
 		ds := &ml.Dataset{Features: e.mdl.Features, X: block, Y: make([]int8, len(reqs))}
 		for i, cls := range bp.PredictBatch(ds) {
@@ -508,10 +621,114 @@ func (e *Engine) PredictBatch(reqs [][]relational.Value) ([]Prediction, error) {
 			}
 			return
 		}
-		sc := e.newScratch()
+		sc := e.getScratch()
 		for i := lo; i < hi; i++ {
 			out[i] = e.predictJoinedInto(sc, reqs[i])
 		}
+		e.putScratch(sc)
 	})
 	return out, nil
+}
+
+// buildHiddenInto fills dst with the first-layer pre-activations of requests
+// [lo, hi): for each, the layer bias, the embedding rows of the fact-local
+// features in model order, then one precomputed hpartial vector per
+// dimension group — the canonical grouped fold, hoisted per dimension row
+// exactly like scoreFactorized's scalar partials.
+func (e *Engine) buildHiddenInto(dst []float64, reqs [][]relational.Value, lo, hi int) {
+	h := e.hwidth
+	fused := len(e.factFeats)+len(e.groups) == 4
+	for i := lo; i < hi; i++ {
+		row := dst[(i-lo)*h : (i-lo+1)*h]
+		req := reqs[i]
+		if fused {
+			// The star-schema common case: four embedding rows to fold
+			// (fact-local features plus one hpartial per dimension group,
+			// e.g. two of each). Collecting them and summing in one fused
+			// pass does 5 loads and 1 store per element instead of the
+			// copy-then-add-each chain's 9 loads and 5 stores — this loop
+			// is a top cost of a batch flush. The element-wise sum
+			// associates left to right in exactly the sequential fold
+			// order, so every result bit matches the general path below.
+			var srcs [4][]float64
+			ns := 0
+			for _, fs := range e.factFeats {
+				srcs[ns] = e.hw[(e.enc.Offsets[fs.modelIdx]+int(req[fs.input]))*h:][:h]
+				ns++
+			}
+			for gi := range e.groups {
+				g := &e.groups[gi]
+				srcs[ns] = g.hpartial[int(req[g.fkInput])*h:][:h]
+				ns++
+			}
+			s0, s1, s2, s3 := srcs[0], srcs[1][:h], srcs[2][:h], srcs[3][:h]
+			for u := range row {
+				row[u] = e.hb[u] + s0[u] + s1[u] + s2[u] + s3[u]
+			}
+			continue
+		}
+		copy(row, e.hb)
+		for _, fs := range e.factFeats {
+			w := e.hw[(e.enc.Offsets[fs.modelIdx]+int(req[fs.input]))*h:][:h]
+			for u := range row {
+				row[u] += w[u]
+			}
+		}
+		for gi := range e.groups {
+			g := &e.groups[gi]
+			p := g.hpartial[int(req[g.fkInput])*h:][:h]
+			for u := range row {
+				row[u] += p[u]
+			}
+		}
+	}
+}
+
+// batchScratch carries the reusable buffers of predictBatchInto so a
+// steady-state coalescer flush allocates nothing on the factorized paths.
+type batchScratch struct {
+	z   []float64
+	cls []int8
+}
+
+// predictBatchInto is the coalescer's flush kernel: it scores reqs into dst
+// (len(dst) >= len(reqs)) sequentially — micro-batches are far below the
+// fan-out's break-even — choosing the same path per engine as PredictBatch.
+// Requests are validated up front; the first invalid one fails the whole
+// batch and nothing is scored (the coalescer pre-validates at enqueue, so a
+// mixed batch of strangers can never be poisoned by one bad request).
+func (e *Engine) predictBatchInto(dst []Prediction, reqs [][]relational.Value, bs *batchScratch) error {
+	for i, req := range reqs {
+		if err := e.Validate(req); err != nil {
+			return fmt.Errorf("serve: request %d: %w", i, err)
+		}
+	}
+	n := len(reqs)
+	switch {
+	case e.linear:
+		for i := 0; i < n; i++ {
+			s := e.scoreFactorized(reqs[i])
+			dst[i] = Prediction{Class: classOf(s), Score: s, Scored: true}
+		}
+	case e.hidden:
+		if need := n * e.hwidth; cap(bs.z) < need {
+			bs.z = make([]float64, need)
+		}
+		if cap(bs.cls) < n {
+			bs.cls = make([]int8, n)
+		}
+		z, cls := bs.z[:n*e.hwidth], bs.cls[:n]
+		e.buildHiddenInto(z, reqs, 0, n)
+		e.hf.ClassifyHidden(cls, z, n)
+		for i := 0; i < n; i++ {
+			dst[i] = Prediction{Class: cls[i]}
+		}
+	default:
+		sc := e.getScratch()
+		for i := 0; i < n; i++ {
+			dst[i] = e.predictJoinedInto(sc, reqs[i])
+		}
+		e.putScratch(sc)
+	}
+	return nil
 }

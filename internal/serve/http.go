@@ -2,51 +2,111 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/model"
 	"repro/internal/relational"
 )
 
-// Server wraps an Engine with the HTTP API:
+// Server is the HTTP front end over a model Registry:
 //
 //	POST /predict        {"input": {"Home0": 1, "FK_Users": 3, ...}}
 //	POST /predict_batch  {"inputs": [{...}, {...}, ...]}
+//	GET  /models
+//	POST /swap           {"model": "default", "path": "artifact.json"}
+//	                     {"model": "default", "version": 2}
 //	GET  /healthz
 //	GET  /stats
 //
 // Inputs are JSON objects mapping input feature names (see
 // Engine.InputFeatures) to integer category codes. Responses carry the
-// predicted class, and the decision score where the model exposes one. A
-// "mode" query parameter ("factorized" or "joined") selects the scoring
-// path for A/B checks; the default is the engine's fastest correct path.
+// predicted class, and the decision score where the model exposes one. Query
+// parameters: "model" selects a registry slot (default: the first
+// registered), "mode" ("factorized" or "joined") forces a scoring path for
+// A/B checks.
+//
+// Every request resolves its slot's Snapshot exactly once and scores
+// entirely against it, so a concurrent /swap never mixes model versions
+// inside one response. Single predicts flow through the slot's coalescer;
+// steady-state handling reuses pooled scratch (request vectors, decode maps,
+// response buffers) so the serving tier itself allocates almost nothing on
+// top of the score.
 type Server struct {
-	engine *Engine
-	start  time.Time
+	reg      *Registry
+	maxBody  int64
+	maxBatch int
+	start    time.Time
 
 	requests atomic.Int64
 	examples atomic.Int64
 	errors   atomic.Int64
 	batchMax atomic.Int64
-	inputPos map[string]int
 	mux      *http.ServeMux
+	scratch  sync.Pool
 }
 
-// NewServer builds the HTTP front end for an engine.
+// ServerConfig bounds the HTTP surface.
+type ServerConfig struct {
+	// MaxBodyBytes caps any request body; larger bodies get 413.
+	MaxBodyBytes int64
+	// MaxBatchLen caps /predict_batch input count; longer batches get 413
+	// as soon as the limit is crossed mid-stream.
+	MaxBatchLen int
+}
+
+// DefaultServerConfig allows bodies to 8 MiB and batches to 4096 inputs.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{MaxBodyBytes: 8 << 20, MaxBatchLen: 4096}
+}
+
+// hscratch is one request's pooled working set.
+type hscratch struct {
+	body  []byte
+	obj   map[string]int32
+	req   []relational.Value
+	out   []byte
+	reqs  [][]relational.Value
+	flat  []relational.Value
+	preds []Prediction
+}
+
+// NewServer wraps a single engine in a fresh registry (slot "default") with
+// default limits — the one-artifact deployment cmd/hamletd boots into.
 func NewServer(e *Engine) *Server {
-	s := &Server{
-		engine:   e,
-		start:    time.Now(),
-		inputPos: make(map[string]int, len(e.InputFeatures())),
+	reg := NewRegistry(DefaultCoalescerConfig())
+	if _, err := reg.Register("default", e); err != nil {
+		panic(err) // fresh registry; unreachable
 	}
-	for i, f := range e.InputFeatures() {
-		s.inputPos[f.Name] = i
+	return NewRegistryServer(reg, DefaultServerConfig())
+}
+
+// NewRegistryServer builds the HTTP front end over an existing registry.
+func NewRegistryServer(reg *Registry, cfg ServerConfig) *Server {
+	def := DefaultServerConfig()
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = def.MaxBodyBytes
+	}
+	if cfg.MaxBatchLen <= 0 {
+		cfg.MaxBatchLen = def.MaxBatchLen
+	}
+	s := &Server{
+		reg:      reg,
+		maxBody:  cfg.MaxBodyBytes,
+		maxBatch: cfg.MaxBatchLen,
+		start:    time.Now(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/predict_batch", s.handlePredictBatch)
+	s.mux.HandleFunc("/models", s.handleModels)
+	s.mux.HandleFunc("/swap", s.handleSwap)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
@@ -55,174 +115,325 @@ func NewServer(e *Engine) *Server {
 // Handler returns the root handler (mountable under httptest or net/http).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Engine returns the wrapped engine.
-func (s *Server) Engine() *Engine { return s.engine }
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
 
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+// Engine returns the default slot's live engine.
+func (s *Server) Engine() *Engine {
+	slot, ok := s.reg.Slot("")
+	if !ok {
+		return nil
+	}
+	return slot.Snapshot().Engine
+}
+
+func (s *Server) getScratch() *hscratch {
+	if sc, ok := s.scratch.Get().(*hscratch); ok {
+		return sc
+	}
+	return &hscratch{obj: make(map[string]int32, 16)}
+}
+
+func (s *Server) putScratch(sc *hscratch) {
+	for i := range sc.reqs {
+		sc.reqs[i] = nil
+	}
+	sc.reqs = sc.reqs[:0]
+	s.scratch.Put(sc)
+}
+
+func (s *Server) fail(w http.ResponseWriter, sc *hscratch, code int, format string, args ...any) {
 	s.errors.Add(1)
+	var buf []byte
+	if sc != nil {
+		buf = sc.out[:0]
+	}
+	buf = append(buf, `{"error":`...)
+	buf = appendJSONString(buf, fmt.Sprintf(format, args...))
+	buf = append(buf, "}\n"...)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(buf)
+	if sc != nil {
+		sc.out = buf
+	}
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+// readBody drains the request body into the pooled buffer, bounded by the
+// server's body cap. A body over the cap reports 413 via *MaxBytesError.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *hscratch) ([]byte, error) {
+	lr := http.MaxBytesReader(w, r.Body, s.maxBody)
+	defer lr.Close()
+	buf := sc.body[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			sc.body = buf
+			return buf, nil
+		}
+		if err != nil {
+			sc.body = buf
+			return nil, err
+		}
+	}
 }
 
-// parseRequest converts a name→code object into the engine's positional
+// failRead maps body-read errors: over-cap bodies are 413, the rest 400.
+func (s *Server) failRead(w http.ResponseWriter, sc *hscratch, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.fail(w, sc, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+		return
+	}
+	s.fail(w, sc, http.StatusBadRequest, "reading body: %v", err)
+}
+
+// resolve picks the request's slot and snapshot, and the forced scoring mode
+// if any. Everything downstream uses the snapshot, never the slot's current.
+func (s *Server) resolve(r *http.Request) (*Slot, *Snapshot, bool, error) {
+	q := r.URL.Query()
+	slot, ok := s.reg.Slot(q.Get("model"))
+	if !ok {
+		return nil, nil, false, fmt.Errorf("%w: %q", ErrUnknownModel, q.Get("model"))
+	}
+	snap := slot.Snapshot()
+	e := snap.Engine
+	switch m := q.Get("mode"); m {
+	case "":
+		return slot, snap, e.Factorized(), nil
+	case "factorized":
+		if !e.Factorized() {
+			return nil, nil, false, fmt.Errorf("model kind %q has no factorized form", e.Model().Kind)
+		}
+		return slot, snap, true, nil
+	case "joined":
+		return slot, snap, false, nil
+	default:
+		return nil, nil, false, fmt.Errorf("unknown mode %q (want factorized or joined)", m)
+	}
+}
+
+// parseRequestInto converts a name→code object into the engine's positional
 // request layout, requiring exactly the engine's inputs (unknown names are
 // rejected rather than ignored — a misspelled feature must not silently
-// score as zero). Domain validation is left to the engine's Predict*
-// entry points, which all validate before scoring — checking here too
-// would scan every request twice.
-func (s *Server) parseRequest(obj map[string]int32) ([]relational.Value, error) {
-	req := make([]relational.Value, len(s.inputPos))
+// score as zero). Domain validation is left to the engine's entry points,
+// which all validate before scoring.
+func parseRequestInto(e *Engine, dst []relational.Value, obj map[string]int32) ([]relational.Value, error) {
+	n := len(e.InputFeatures())
+	if cap(dst) < n {
+		dst = make([]relational.Value, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
 	seen := 0
 	for name, v := range obj {
-		i, ok := s.inputPos[name]
+		i, ok := e.InputIndex(name)
 		if !ok {
-			return nil, fmt.Errorf("unknown input feature %q", name)
+			return dst, fmt.Errorf("unknown input feature %q", name)
 		}
-		req[i] = v
+		dst[i] = v
 		seen++
 	}
-	if seen != len(req) {
-		for _, f := range s.engine.InputFeatures() {
+	if seen != n {
+		for _, f := range e.InputFeatures() {
 			if _, ok := obj[f.Name]; !ok {
-				return nil, fmt.Errorf("missing input feature %q", f.Name)
+				return dst, fmt.Errorf("missing input feature %q", f.Name)
 			}
 		}
 	}
-	return req, nil
-}
-
-// mode resolves the scoring-path override from the query string.
-func (s *Server) mode(r *http.Request) (factorized bool, err error) {
-	switch m := r.URL.Query().Get("mode"); m {
-	case "":
-		return s.engine.Factorized(), nil
-	case "factorized":
-		if !s.engine.Factorized() {
-			return false, fmt.Errorf("model kind %q has no factorized form", s.engine.Model().Kind)
-		}
-		return true, nil
-	case "joined":
-		return false, nil
-	default:
-		return false, fmt.Errorf("unknown mode %q (want factorized or joined)", m)
-	}
-}
-
-type predictResponse struct {
-	Prediction int8     `json:"prediction"`
-	Score      *float64 `json:"score,omitempty"`
-	Mode       string   `json:"mode"`
-}
-
-func response(p Prediction, factorized bool) predictResponse {
-	resp := predictResponse{Prediction: p.Class, Mode: "joined"}
-	if factorized {
-		resp.Mode = "factorized"
-	}
-	if p.Scored {
-		score := p.Score
-		resp.Score = &score
-	}
-	return resp
+	return dst, nil
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		s.fail(w, sc, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var body struct {
+	body, err := s.readBody(w, r, sc)
+	if err != nil {
+		s.failRead(w, sc, err)
+		return
+	}
+	clear(sc.obj)
+	wrap := struct {
 		Input map[string]int32 `json:"input"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+	}{Input: sc.obj}
+	if err := json.Unmarshal(body, &wrap); err != nil {
+		s.fail(w, sc, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	req, err := s.parseRequest(body.Input)
+	slot, snap, factorized, err := s.resolve(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.failResolve(w, sc, err)
 		return
 	}
-	factorized, err := s.mode(r)
+	sc.req, err = parseRequestInto(snap.Engine, sc.req, wrap.Input)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var p Prediction
-	if factorized {
-		p, err = s.engine.PredictFactorized(req)
-	} else {
-		p, err = s.engine.PredictJoined(req)
+	switch {
+	case factorized:
+		p, err = snap.Engine.PredictFactorized(sc.req)
+	case snap.Engine.Factorized() || r.URL.Query().Get("mode") == "joined":
+		// Forced joined mode really exercises the gather path.
+		p, err = snap.Engine.PredictJoined(sc.req)
+	default:
+		// Default path for non-factorized engines: through the coalescer,
+		// which micro-batches concurrent callers when the engine benefits.
+		p, err = slot.Coalescer().Predict(snap, sc.req)
 	}
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.examples.Add(1)
-	writeJSON(w, response(p, factorized))
+	sc.out = appendPredictResponse(sc.out[:0], p, factorized)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(sc.out)
 }
 
-type batchResponse struct {
-	Predictions []int8    `json:"predictions"`
-	Scores      []float64 `json:"scores,omitempty"`
-	N           int       `json:"n"`
-	Mode        string    `json:"mode"`
+// failResolve maps slot/mode resolution errors: unknown slots are 404, bad
+// modes 400.
+func (s *Server) failResolve(w http.ResponseWriter, sc *hscratch, err error) {
+	if errors.Is(err, ErrUnknownModel) {
+		s.fail(w, sc, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.fail(w, sc, http.StatusBadRequest, "%v", err)
+}
+
+// decodeBatch stream-decodes {"inputs": [...]} from dec, converting each
+// object through the engine's layout as it arrives — the batch is bounded by
+// maxBatch and rejected the moment it crosses the cap, not after buffering
+// an arbitrarily long array. Returns (reqs, http status, error).
+func (s *Server) decodeBatch(dec *json.Decoder, e *Engine, sc *hscratch) ([][]relational.Value, int, error) {
+	expect := func(want json.Delim) error {
+		t, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("bad JSON: %v", err)
+		}
+		if d, ok := t.(json.Delim); !ok || d != want {
+			return fmt.Errorf("bad JSON: expected %q, got %v", want.String(), t)
+		}
+		return nil
+	}
+	if err := expect('{'); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	reqs := sc.reqs[:0]
+	n := len(e.InputFeatures())
+	seenInputs := false
+	for dec.More() {
+		t, err := dec.Token()
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err)
+		}
+		key, ok := t.(string)
+		if !ok {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad JSON: non-string key %v", t)
+		}
+		if key != "inputs" {
+			// Skip unknown top-level fields wholesale, like encoding/json's
+			// object decoding does.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err)
+			}
+			continue
+		}
+		seenInputs = true
+		if err := expect('['); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		for dec.More() {
+			if len(reqs) >= s.maxBatch {
+				return nil, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("batch exceeds %d inputs", s.maxBatch)
+			}
+			clear(sc.obj)
+			obj := sc.obj
+			if err := dec.Decode(&obj); err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("input %d: bad JSON: %v", len(reqs), err)
+			}
+			// Requests are carved out of one flat backing array, appended
+			// per batch and reused across batches.
+			if len(sc.flat) < (len(reqs)+1)*n {
+				sc.flat = append(sc.flat, make([]relational.Value, n)...)
+			}
+			req := sc.flat[len(reqs)*n : (len(reqs)+1)*n]
+			req, err := parseRequestInto(e, req, obj)
+			if err != nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("input %d: %v", len(reqs), err)
+			}
+			reqs = append(reqs, req)
+		}
+		if err := expect(']'); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	if err := expect('}'); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	sc.reqs = reqs
+	if !seenInputs || len(reqs) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("empty batch")
+	}
+	return reqs, 0, nil
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		s.fail(w, sc, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var body struct {
-		Inputs []map[string]int32 `json:"inputs"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
+	_, snap, factorized, err := s.resolve(r)
+	if err != nil {
+		s.failResolve(w, sc, err)
 		return
 	}
-	if len(body.Inputs) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty batch")
-		return
-	}
-	reqs := make([][]relational.Value, len(body.Inputs))
-	for i, obj := range body.Inputs {
-		req, err := s.parseRequest(obj)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, "input %d: %v", i, err)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	defer body.Close()
+	dec := json.NewDecoder(body)
+	reqs, code, err := s.decodeBatch(dec, snap.Engine, sc)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.fail(w, sc, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
 			return
 		}
-		reqs[i] = req
-	}
-	factorized, err := s.mode(r)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, sc, code, "%v", err)
 		return
 	}
 	var preds []Prediction
-	if factorized == s.engine.Factorized() {
-		preds, err = s.engine.PredictBatch(reqs)
+	if factorized == snap.Engine.Factorized() {
+		preds, err = snap.Engine.PredictBatch(reqs)
 	} else {
 		// Forced joined mode on a linear engine: score sequentially through
 		// the gather path so the A/B comparison really exercises it.
 		preds = make([]Prediction, len(reqs))
 		for i, req := range reqs {
-			preds[i], err = s.engine.PredictJoined(req)
+			preds[i], err = snap.Engine.PredictJoined(req)
 			if err != nil {
 				break
 			}
 		}
 	}
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.examples.Add(int64(len(preds)))
@@ -232,33 +443,164 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	resp := batchResponse{Predictions: make([]int8, len(preds)), N: len(preds)}
-	resp.Mode = "joined"
-	if factorized {
-		resp.Mode = "factorized"
+	sc.out = appendBatchResponse(sc.out[:0], preds, factorized)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(sc.out)
+}
+
+// predictResponse documents /predict's wire shape; the hot path encodes it
+// field-for-field via appendPredictResponse rather than reflection.
+type predictResponse struct {
+	Prediction int8     `json:"prediction"`
+	Score      *float64 `json:"score,omitempty"`
+	Mode       string   `json:"mode"`
+}
+
+// batchResponse documents /predict_batch's wire shape; encoded by
+// appendBatchResponse.
+type batchResponse struct {
+	Predictions []int8    `json:"predictions"`
+	Scores      []float64 `json:"scores,omitempty"`
+	N           int       `json:"n"`
+	Mode        string    `json:"mode"`
+}
+
+// modelInfo is one slot's /models entry.
+type modelInfo struct {
+	Name       string      `json:"name"`
+	Version    int         `json:"version"`
+	Kind       string      `json:"kind"`
+	Factorized bool        `json:"factorized"`
+	Batched    bool        `json:"batched"`
+	Inputs     []inputInfo `json:"inputs"`
+	Versions   []int       `json:"versions"`
+	Swapped    time.Time   `json:"swapped"`
+}
+
+type inputInfo struct {
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"`
+	IsFK        bool   `json:"is_fk,omitempty"`
+	Dim         string `json:"dim,omitempty"`
+	Aux         bool   `json:"aux,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, nil, http.StatusMethodNotAllowed, "GET required")
+		return
 	}
-	scored := true
-	for i, p := range preds {
-		resp.Predictions[i] = p.Class
-		scored = scored && p.Scored
-	}
-	if scored {
-		resp.Scores = make([]float64, len(preds))
-		for i, p := range preds {
-			resp.Scores[i] = p.Score
+	slots := s.reg.Slots()
+	infos := make([]modelInfo, 0, len(slots))
+	for _, slot := range slots {
+		snap := slot.Snapshot()
+		e := snap.Engine
+		mi := modelInfo{
+			Name:       slot.Name(),
+			Version:    snap.Version,
+			Kind:       e.Model().Kind,
+			Factorized: e.Factorized(),
+			Batched:    e.BatchServeable(),
+			Swapped:    snap.Swapped,
 		}
+		for _, f := range e.InputFeatures() {
+			mi.Inputs = append(mi.Inputs, inputInfo{
+				Name: f.Name, Cardinality: f.Cardinality,
+				IsFK: f.IsFK, Dim: f.Dim, Aux: f.Aux,
+			})
+		}
+		for _, h := range slot.Versions() {
+			mi.Versions = append(mi.Versions, h.Version)
+		}
+		infos = append(infos, mi)
 	}
-	writeJSON(w, resp)
+	writeJSON(w, map[string]any{"models": infos})
+}
+
+// handleSwap hot-swaps a slot to a new artifact ({"model", "path"}) or rolls
+// it back to a retained version ({"model", "version"}). The model name may
+// be empty for the default slot. Swap and rollback are admin operations —
+// cold path, plain encoding/json.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, nil, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body struct {
+		Model   string `json:"model"`
+		Path    string `json:"path"`
+		Version *int   `json:"version"`
+	}
+	lr := http.MaxBytesReader(w, r.Body, s.maxBody)
+	defer lr.Close()
+	if err := json.NewDecoder(lr).Decode(&body); err != nil {
+		s.fail(w, nil, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	var (
+		snap *Snapshot
+		err  error
+	)
+	switch {
+	case body.Path != "" && body.Version != nil:
+		s.fail(w, nil, http.StatusBadRequest, "path and version are mutually exclusive")
+		return
+	case body.Path != "":
+		var m *model.Model
+		m, err = model.Load(body.Path)
+		if err != nil {
+			s.fail(w, nil, http.StatusBadRequest, "loading artifact: %v", err)
+			return
+		}
+		snap, err = s.reg.Swap(body.Model, m)
+	case body.Version != nil:
+		snap, err = s.reg.Rollback(body.Model, *body.Version)
+	default:
+		s.fail(w, nil, http.StatusBadRequest, "need path (swap) or version (rollback)")
+		return
+	}
+	if err != nil {
+		var sme *model.SchemaMismatchError
+		switch {
+		case errors.Is(err, ErrUnknownModel) || errors.Is(err, ErrUnknownVersion):
+			s.fail(w, nil, http.StatusNotFound, "%v", err)
+		case errors.As(err, &sme):
+			s.fail(w, nil, http.StatusConflict, "%v", err)
+		default:
+			s.fail(w, nil, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, map[string]any{
+		"model":      snap.Name,
+		"version":    snap.Version,
+		"kind":       snap.Engine.Model().Kind,
+		"factorized": snap.Engine.Factorized(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	e := s.engine
+	e := s.Engine()
+	slot, _ := s.reg.Slot("")
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	coal := map[string]CoalescerStats{}
+	for _, sl := range s.reg.Slots() {
+		coal[sl.Name()] = sl.Coalescer().Stats()
+	}
 	writeJSON(w, map[string]any{
 		"model":       e.Model().Kind,
+		"version":     slot.Snapshot().Version,
 		"fingerprint": e.Model().Fingerprint().String(),
 		"factorized":  e.Factorized(),
 		"dimensions":  e.NumDimensions(),
@@ -268,6 +610,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"errors":      s.errors.Load(),
 		"batch_max":   s.batchMax.Load(),
 		"uptime_ms":   time.Since(s.start).Milliseconds(),
+		"mallocs":     ms.Mallocs,
+		"coalescer":   coal,
 		"meta":        e.Model().Meta,
 	})
 }

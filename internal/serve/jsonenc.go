@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"math"
+	"strconv"
+)
+
+// Append-style JSON encoders for the hot response shapes. encoding/json is
+// kept for the cold admin endpoints; the per-request paths build their
+// responses into pooled buffers with zero intermediate allocation. The float
+// format replicates encoding/json's floatEncoder exactly ('f' for the
+// human-scale range, 'e' outside it, with the two-digit negative exponent
+// compacted), so switching a handler between the two encoders never changes
+// a byte on the wire.
+
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+func modeString(factorized bool) string {
+	if factorized {
+		return "factorized"
+	}
+	return "joined"
+}
+
+// appendPredictResponse encodes predictResponse: the class, the score when
+// the model exposes one, and the path that produced it. Trailing newline
+// matches json.Encoder.Encode.
+func appendPredictResponse(b []byte, p Prediction, factorized bool) []byte {
+	b = append(b, `{"prediction":`...)
+	b = strconv.AppendInt(b, int64(p.Class), 10)
+	if p.Scored {
+		b = append(b, `,"score":`...)
+		b = appendJSONFloat(b, p.Score)
+	}
+	b = append(b, `,"mode":"`...)
+	b = append(b, modeString(factorized)...)
+	b = append(b, "\"}\n"...)
+	return b
+}
+
+// appendBatchResponse encodes batchResponse; scores are emitted only when
+// every prediction carries one (mixed batches cannot happen — the path is
+// uniform per engine — but the guard keeps the encoder total).
+func appendBatchResponse(b []byte, preds []Prediction, factorized bool) []byte {
+	b = append(b, `{"predictions":[`...)
+	scored := true
+	for i, p := range preds {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(p.Class), 10)
+		scored = scored && p.Scored
+	}
+	b = append(b, ']')
+	if scored && len(preds) > 0 {
+		b = append(b, `,"scores":[`...)
+		for i, p := range preds {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONFloat(b, p.Score)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"n":`...)
+	b = strconv.AppendInt(b, int64(len(preds)), 10)
+	b = append(b, `,"mode":"`...)
+	b = append(b, modeString(factorized)...)
+	b = append(b, "\"}\n"...)
+	return b
+}
+
+// appendJSONString encodes s with the subset of escaping the error paths
+// need (quotes, backslashes, control bytes); non-ASCII passes through as
+// UTF-8, like encoding/json without HTML escaping of user text.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates allocation-count assertions, which the race detector's
+// instrumentation invalidates.
+const raceEnabled = true
