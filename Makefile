@@ -46,16 +46,21 @@ bench-baseline:
 # >=1.5x zone-map skip win, segmented-engine parity at >=0.95x vs the
 # monolithic slab, a >=2x coalesced-vs-scalar concurrent-serving win, and 0
 # allocs/op on the coalesced and factorized-linear serving paths.
+#
+# BENCH_JSON=<path> additionally writes the gated medians (ns/op, allocs/op)
+# as a machine-readable JSON digest — the committed BENCH_<n>.json artifacts.
 bench-gate:
 	go test $(BENCH_FLAGS) | tee bench_current.txt
-	go run ./cmd/benchgate -baseline bench_baseline.txt -current bench_current.txt
+	go run ./cmd/benchgate -baseline bench_baseline.txt -current bench_current.txt $(if $(BENCH_JSON),-json $(BENCH_JSON))
 
 # load runs the closed-loop serving load harness against a freshly trained
 # artifact: train Naive Bayes on the Movies sample, start hamletd, drive it
 # at the default 64 connections for a short burst, and print the latency
 # quantiles, throughput, allocation rate, and coalescer fill report.
-# Override duration/conns with LOAD_FLAGS="-duration 30s -conns 128".
-LOAD_FLAGS = -duration 3s -warmup 500ms
+# Override duration/conns with LOAD_FLAGS="-duration 30s -conns 128"; the
+# default -scrape adds the server's own /metrics view: counter deltas and
+# bucket-derived latency quantiles next to the client-side percentiles.
+LOAD_FLAGS = -duration 3s -warmup 500ms -scrape
 load:
 	go build -o . ./cmd/hamletd ./cmd/hamletload ./cmd/hamlet
 	./hamlet -train -dataset Movies -spec "NaiveBayes(BFS)" -scale 64 -model /tmp/load_model.bin

@@ -25,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -77,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	pairs := fs.String("pairs", defaultPairs, "';'-separated groups of comma-separated pairs for the speedup check; a pair is <name> (RowAtATime vs Columnar) or <name>/<slow>/<fast> (empty skips)")
 	minSpeedup := fs.Float64("min-speedup", 1.5, "required slow/fast speedup on at least one pair per group")
 	zeroAlloc := fs.String("zero-alloc", defaultZeroAlloc, "regexp of current-run benchmarks that must report 0 allocs/op (empty disables)")
+	jsonPath := fs.String("json", "", "write the gated medians (ns/op, allocs/op, sample counts) as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +92,12 @@ func run(args []string, out io.Writer) error {
 	current, allocs, err := parseBenchFile(*currentPath)
 	if err != nil {
 		return err
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSONSummary(*jsonPath, current, allocs, gateRE); err != nil {
+			return err
+		}
 	}
 
 	failures := 0
@@ -127,6 +135,38 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "benchgate: all gates passed")
 	return nil
+}
+
+// benchSummary is one gated benchmark's digest in the -json output.
+type benchSummary struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"` // absent without -benchmem
+	Samples     int      `json:"samples"`
+}
+
+// writeJSONSummary digests the current run's gated benchmarks — median
+// ns/op, median allocs/op where sampled, and the repetition count — into a
+// machine-readable file (the BENCH_<n>.json artifacts CI archives). Written
+// before the gates are judged so a failing run still leaves its numbers
+// behind for diagnosis.
+func writeJSONSummary(path string, current, allocs map[string][]float64, gate *regexp.Regexp) error {
+	summary := map[string]benchSummary{}
+	for name, ns := range current {
+		if !gate.MatchString(name) {
+			continue
+		}
+		s := benchSummary{NsPerOp: median(ns), Samples: len(ns)}
+		if a, ok := allocs[name]; ok {
+			m := median(a)
+			s.AllocsPerOp = &m
+		}
+		summary[name] = s
+	}
+	raw, err := json.MarshalIndent(map[string]any{"benchmarks": summary}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // checkRegressions compares median ns/op of every gated baseline benchmark

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -283,5 +284,51 @@ func TestCurrentRequired(t *testing.T) {
 	var sb strings.Builder
 	if err := run(nil, &sb); err == nil {
 		t.Fatal("-current must be required")
+	}
+}
+
+// TestJSONSummary pins the -json artifact: gated benchmarks only, median
+// ns/op, allocs/op where the run sampled them, and repetition counts.
+func TestJSONSummary(t *testing.T) {
+	cur := writeTemp(t, "cur.txt", baselineText+segPairLines)
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	// Pairs and zero-alloc checks are irrelevant here; the summary must be
+	// written regardless of gate outcomes.
+	err := run([]string{"-current", cur, "-json", jsonPath, "-pairs", "", "-zero-alloc", ""}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Benchmarks map[string]struct {
+			NsPerOp     float64  `json:"ns_per_op"`
+			AllocsPerOp *float64 `json:"allocs_per_op"`
+			Samples     int      `json:"samples"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	nb, ok := got.Benchmarks["BenchmarkNBFitRowAtATime"]
+	if !ok {
+		t.Fatalf("summary missing gated benchmark: %s", raw)
+	}
+	if nb.NsPerOp != 1100000 || nb.Samples != 3 || nb.AllocsPerOp == nil || *nb.AllocsPerOp != 1 {
+		t.Fatalf("NBFitRowAtATime summary %+v", nb)
+	}
+	co := got.Benchmarks["BenchmarkServeConcurrentCoalesced"]
+	if co.AllocsPerOp == nil || *co.AllocsPerOp != 0 {
+		t.Fatalf("Coalesced summary %+v", co)
+	}
+	seg, ok := got.Benchmarks["BenchmarkSegParScanSlab"]
+	if !ok || seg.AllocsPerOp != nil {
+		t.Fatalf("SegParScanSlab summary %+v (allocs must be absent without -benchmem)", seg)
+	}
+	if _, ok := got.Benchmarks["BenchmarkBogus"]; ok {
+		t.Fatal("ungated benchmark leaked into summary")
 	}
 }

@@ -34,13 +34,17 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/relational"
 	"repro/internal/report"
 )
@@ -72,6 +76,7 @@ func run(args []string) error {
 	train := fs.Bool("train", false, "train -spec on -dataset's JoinAll view and save the model artifact to -model")
 	eval := fs.Bool("eval", false, "load the -model artifact and report holdout test accuracy")
 	modelPath := fs.String("model", "", "model artifact path (-train writes it, -eval reads it)")
+	timings := fs.Bool("timings", false, "print per-phase training span totals (scan, gram_build, epochs, ...) after the run and embed them in -train artifact metadata")
 	datasetName := fs.String("dataset", "", "dataset name for -train/-eval (see Table 1: Expedia, Movies, Yelp, Walmart, LastFM, Books, Flights)")
 	specName := fs.String("spec", "NaiveBayes(BFS)", "classifier spec for -train (a Tables 2-3 model name)")
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +108,10 @@ func run(args []string) error {
 		SegmentSize: *segSize,
 		SpillDir:    *spillDir,
 		CacheBytes:  *cacheBytes,
+	}
+	if *timings {
+		core.EmbedTimings = true
+		defer printTimings(o.Out)
 	}
 
 	export := func(cells []experiments.AccuracyCell) error {
@@ -169,6 +178,29 @@ func run(args []string) error {
 		return err
 	}
 	return fmt.Errorf("nothing to do: pass -table N, -figure 1, or -all")
+}
+
+// printTimings renders the process-wide training-phase span totals — how much
+// wall time each phase (column scan, Gram build, epochs, count/reduce, split
+// search) accumulated across every Fit this invocation ran.
+func printTimings(w io.Writer) {
+	phases := obs.TrainPhases()
+	names := make([]string, 0, len(phases))
+	for name, t := range phases {
+		if t.Calls > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "training phase timings:")
+	for _, name := range names {
+		t := phases[name]
+		fmt.Fprintf(w, "  %-14s %12s  (%d calls, avg %s)\n",
+			name, time.Duration(t.Ns), t.Calls, time.Duration(t.Ns/t.Calls))
+	}
 }
 
 // runModelDiff compares two artifacts' payloads, ignoring metadata: the

@@ -15,7 +15,10 @@
 // bound address is printed on startup).
 //
 // Endpoints: POST /predict, POST /predict_batch, GET /models, POST /swap,
-// GET /healthz, GET /stats. The artifact boots into registry slot "default";
+// GET /healthz, GET /stats, GET /metrics (Prometheus text exposition covering
+// serving, segment cache, and training spans; -pprof additionally mounts
+// net/http/pprof under /debug/pprof/). The artifact boots into registry slot
+// "default";
 // POST /swap {"model":"default","path":"new.bin"} hot-swaps it under live
 // traffic (in-flight requests finish against their version) and
 // {"model":"default","version":N} rolls back. Linear-family models
@@ -36,6 +39,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,10 +62,13 @@ func main() {
 }
 
 // daemon is a built-but-unbound server: everything except the socket.
+// handler is what actually serves — srv.Handler(), optionally wrapped with
+// the pprof mux when -pprof is set.
 type daemon struct {
-	srv   *serve.Server
-	addr  string
-	drain time.Duration
+	srv     *serve.Server
+	handler http.Handler
+	addr    string
+	drain   time.Duration
 }
 
 // run binds the socket and serves until the context is cancelled, then
@@ -76,7 +83,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return fmt.Errorf("bind %s: %w", d.addr, err)
 	}
 	fmt.Fprintf(out, "hamletd listening on %s\n", ln.Addr())
-	hs := &http.Server{Handler: d.srv.Handler()}
+	hs := &http.Server{Handler: d.handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -114,6 +121,7 @@ func build(args []string, out *os.File) (*daemon, error) {
 		"max request body bytes (oversized requests get 413)")
 	maxBatch := fs.Int("max-batch", serve.DefaultServerConfig().MaxBatchLen,
 		"max /predict_batch inputs per request (longer batches get 413)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -176,5 +184,21 @@ func build(args []string, out *os.File) (*daemon, error) {
 	fmt.Fprintf(out, "hamletd: serving %s (%s) on %s scale %d seed %d — %s, %d inputs, %d dimensions\n",
 		m.Kind, m.Fingerprint().Short(), name, sc, sd, mode, len(engine.InputFeatures()), engine.NumDimensions())
 	srv := serve.NewRegistryServer(reg, serve.ServerConfig{MaxBodyBytes: *maxBody, MaxBatchLen: *maxBatch})
-	return &daemon{srv: srv, addr: *addr, drain: *drain}, nil
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		// The profiling surface is opt-in: a production scrape target should
+		// not expose heap dumps and CPU profiles by default. Handlers are
+		// mounted explicitly rather than via the package's DefaultServeMux
+		// side effect, which this daemon never serves.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintln(out, "hamletd: pprof enabled at /debug/pprof/")
+	}
+	return &daemon{srv: srv, handler: handler, addr: *addr, drain: *drain}, nil
 }

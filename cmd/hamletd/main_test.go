@@ -194,3 +194,50 @@ func TestRunBindFailure(t *testing.T) {
 		t.Fatalf("want bind error, got %v", err)
 	}
 }
+
+// TestPprofGating pins the -pprof flag: off by default (404 on the debug
+// surface), mounted when set — and the wrapped handler still serves the
+// telemetry and prediction endpoints.
+func TestPprofGating(t *testing.T) {
+	path := trainArtifact(t)
+	out := devNull(t)
+
+	d, err := build([]string{"-model", path}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	dp, err := build([]string{"-model", path, "-pprof"}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsp := httptest.NewServer(dp.handler)
+	defer tsp.Close()
+	for url, want := range map[string]string{
+		"/debug/pprof/": "text/html",
+		"/metrics":      "text/plain; version=0.0.4",
+		"/healthz":      "application/json",
+	} {
+		resp, err := http.Get(tsp.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s with -pprof: status %d", url, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, want) {
+			t.Fatalf("%s content type %q, want prefix %q", url, ct, want)
+		}
+	}
+}

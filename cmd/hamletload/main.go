@@ -18,9 +18,17 @@
 //
 // -min-rps sets a throughput floor: the run exits non-zero below it, which
 // is what lets CI gate serving regressions with a one-line smoke job.
+//
+// -scrape additionally snapshots GET /metrics before and after the measured
+// window and reports the server's own view of the run: every counter that
+// moved, and p50/p99/p999 recomputed from the /predict latency histogram's
+// bucket deltas — printed next to the client-side percentiles so queueing
+// delay outside the server (client stack, kernel, NIC) is visible as the gap
+// between the two.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -30,9 +38,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func main() {
@@ -53,6 +64,7 @@ type config struct {
 	seed     int64
 	minRPS   float64
 	bodies   int
+	scrape   bool
 }
 
 func parseFlags(args []string) (config, error) {
@@ -67,6 +79,7 @@ func parseFlags(args []string) (config, error) {
 	seed := fs.Int64("seed", 1, "request synthesis seed")
 	minRPS := fs.Float64("min-rps", 0, "fail (exit 1) below this measured req/s")
 	bodies := fs.Int("bodies", 256, "distinct pre-encoded request bodies to cycle through")
+	scrape := fs.Bool("scrape", false, "snapshot /metrics around the run and report server-side counter deltas and latency quantiles")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -82,7 +95,7 @@ func parseFlags(args []string) (config, error) {
 		base: base, model: *model, mode: *mode,
 		duration: *duration, warmup: *warmup,
 		conns: *conns, rate: *rate, seed: *seed,
-		minRPS: *minRPS, bodies: *bodies,
+		minRPS: *minRPS, bodies: *bodies, scrape: *scrape,
 	}, nil
 }
 
@@ -163,6 +176,108 @@ func synthesize(cfg config, models modelsResponse) ([][]byte, string, error) {
 	}
 	return bodies, fmt.Sprintf("%s v%d (%s, factorized=%v, batched=%v)",
 		m.Name, m.Version, m.Kind, m.Factorized, m.Batched), nil
+}
+
+// scrapeMetrics fetches /metrics and returns every sample keyed by its fully
+// qualified series name (name plus rendered labels).
+func scrapeMetrics(c *http.Client, base string) (map[string]float64, error) {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[sp+1:], 64); err == nil {
+			samples[line[:sp]] = v
+		}
+	}
+	return samples, sc.Err()
+}
+
+// scrapeQuantiles recomputes latency quantiles from the delta of two scrapes
+// of one histogram family: the cumulative bucket counts that moved during
+// the run ARE the run's histogram, so the server's own p50/p99/p999 fall out
+// of obs.QuantileFromCumulative with no extra instrumentation. prefix is the
+// family's `_bucket{...` series prefix up to (excluding) the le label.
+func scrapeQuantiles(before, after map[string]float64, prefix string) (p50, p99, p999 time.Duration, ok bool) {
+	type bkt struct {
+		le    float64
+		count uint64
+	}
+	var bkts []bkt
+	for series, av := range after {
+		rest, found := strings.CutPrefix(series, prefix)
+		if !found {
+			continue
+		}
+		rest, found = strings.CutPrefix(rest, `le="`)
+		if !found {
+			continue
+		}
+		le, err := strconv.ParseFloat(strings.TrimSuffix(rest, `"}`), 64)
+		if err != nil {
+			continue
+		}
+		// A bucket absent from the earlier scrape was empty then (empty
+		// buckets are elided from the exposition): its before-count is 0.
+		if d := av - before[series]; d > 0 {
+			bkts = append(bkts, bkt{le, uint64(d)})
+		}
+	}
+	if len(bkts) == 0 {
+		return 0, 0, 0, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	les := make([]float64, len(bkts))
+	cums := make([]uint64, len(bkts))
+	for i, b := range bkts {
+		les[i] = b.le
+		cums[i] = b.count // deltas of cumulative counts are cumulative
+	}
+	q := func(p float64) time.Duration {
+		return time.Duration(obs.QuantileFromCumulative(les, cums, p))
+	}
+	return q(0.50), q(0.99), q(0.999), true
+}
+
+// reportScrape prints the server-side view of the run: recomputed /predict
+// latency quantiles and every scalar counter that moved between the scrapes.
+func reportScrape(out io.Writer, before, after map[string]float64) {
+	if p50, p99, p999, ok := scrapeQuantiles(before, after,
+		`hamlet_http_request_ns_bucket{endpoint="predict",`); ok {
+		fmt.Fprintf(out, "server latency (from /metrics bucket deltas): p50 %s  p99 %s  p999 %s\n",
+			p50, p99, p999)
+	}
+	var moved []string
+	for series, av := range after {
+		if strings.Contains(series, "_bucket{") || strings.Contains(series, "_bucket ") {
+			continue // quantiles above already summarize the buckets
+		}
+		if d := av - before[series]; d != 0 {
+			// Counters are integral; %g would flip to exponent notation past
+			// 1e6 and defeat downstream delta parsing.
+			moved = append(moved, fmt.Sprintf("  %-64s %+d", series, int64(d)))
+		}
+	}
+	sort.Strings(moved)
+	fmt.Fprintf(out, "scrape deltas (%d series moved):\n", len(moved))
+	for _, line := range moved {
+		fmt.Fprintln(out, line)
+	}
 }
 
 // recorder accumulates latencies across workers.
@@ -261,6 +376,12 @@ func run(args []string, out io.Writer) error {
 	if err := getJSON(client, cfg.base+"/stats", &before); err != nil {
 		return fmt.Errorf("reading /stats: %w", err)
 	}
+	var mBefore map[string]float64
+	if cfg.scrape {
+		if mBefore, err = scrapeMetrics(client, cfg.base); err != nil {
+			return fmt.Errorf("scraping /metrics: %w", err)
+		}
+	}
 
 	rec := &recorder{}
 	begin := time.Now()
@@ -355,6 +476,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if errs := after.Errors - before.Errors; errs > 0 {
 		fmt.Fprintf(out, "server: %d errored requests during run\n", errs)
+	}
+	if cfg.scrape {
+		mAfter, err := scrapeMetrics(client, cfg.base)
+		if err != nil {
+			return fmt.Errorf("scraping /metrics: %w", err)
+		}
+		reportScrape(out, mBefore, mAfter)
 	}
 	if rec.errs > 0 && n == 0 {
 		return fmt.Errorf("all %d requests failed", rec.errs)

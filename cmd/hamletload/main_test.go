@@ -1,7 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -88,5 +91,45 @@ func TestLoadFailures(t *testing.T) {
 	}
 	if err := run([]string{"-addr", ts.URL, "-model", "nope", "-duration", "100ms"}, &out); err == nil {
 		t.Fatal("unknown model slot accepted")
+	}
+}
+
+// TestLoadScrape drives a burst with -scrape and checks the server-side
+// report: the recomputed latency quantiles, the delta table, and agreement
+// between the scraped request-counter delta and the client's own count.
+func TestLoadScrape(t *testing.T) {
+	ts := testDaemon(t)
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL, "-duration", "300ms", "-warmup", "50ms",
+		"-conns", "8", "-scrape",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"server latency (from /metrics bucket deltas): p50",
+		"scrape deltas (",
+		`hamlet_http_requests_total{endpoint="predict"}`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape report missing %q:\n%s", want, got)
+		}
+	}
+	// The scraped request delta must equal the requests the client sent in
+	// the measured window (the "N requests in" line counts successes; warmup
+	// traffic happened before the first scrape).
+	var clientN int
+	if _, err := fmt.Sscanf(got[strings.Index(got, "\n")+1:], "%d requests in", &clientN); err != nil {
+		t.Fatalf("parsing client request count: %v\n%s", err, got)
+	}
+	re := regexp.MustCompile(`hamlet_http_requests_total\{endpoint="predict"\}\s+\+(\d+)`)
+	m := re.FindStringSubmatch(got)
+	if m == nil {
+		t.Fatalf("no request-counter delta in report:\n%s", got)
+	}
+	if serverN, _ := strconv.Atoi(m[1]); serverN != clientN {
+		t.Errorf("server counted %d requests, client measured %d\n%s", serverN, clientN, got)
 	}
 }

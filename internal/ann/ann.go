@@ -14,6 +14,7 @@ package ann
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/ml"
@@ -200,6 +201,7 @@ func (m *MLP) fitRows(train *ml.Dataset, r *rng.RNG, order []int) {
 	d1 := make([]float64, h1)
 	d2 := make([]float64, h2)
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		epochT0 := time.Now()
 		r.ShuffleInts(order)
 		for at := 0; at < n; at += m.cfg.BatchSize {
 			end := at + m.cfg.BatchSize
@@ -306,6 +308,7 @@ func (m *MLP) fitRows(train *ml.Dataset, r *rng.RNG, order []int) {
 			}
 			m.applyAdam(gW2, gB2, gW3, gB3, gB1, sparse)
 		}
+		epochSpan.ObserveSince(epochT0)
 	}
 }
 
@@ -347,6 +350,7 @@ func (m *MLP) fitBatched(train *ml.Dataset, r *rng.RNG, order []int) {
 	gB1 := make([]float64, h1)
 	sparse := make([]sparseGrad, 0, B*d)
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		epochT0 := time.Now()
 		r.ShuffleInts(order)
 		for at := 0; at < n; at += m.cfg.BatchSize {
 			end := at + m.cfg.BatchSize
@@ -456,6 +460,7 @@ func (m *MLP) fitBatched(train *ml.Dataset, r *rng.RNG, order []int) {
 			}
 			m.applyAdam(gW2, gB2, gW3, gB3, gB1, sparse)
 		}
+		epochSpan.ObserveSince(epochT0)
 	}
 }
 

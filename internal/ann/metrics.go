@@ -1,0 +1,7 @@
+package ann
+
+import "repro/internal/obs"
+
+// epochSpan times each MLP training epoch on both the batched and the
+// row-at-a-time path — same phase name, so a scrape compares them directly.
+var epochSpan = obs.TrainSpan("ann_epoch", "one MLP training epoch")

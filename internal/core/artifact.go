@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/ml"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Artifact metadata keys written by BuildArtifact and read back by the
@@ -19,7 +22,44 @@ const (
 	MetaView    = "view"
 	MetaValAcc  = "val_acc"
 	MetaTestAcc = "test_acc"
+	// MetaTimings holds the per-phase training-span deltas of this artifact's
+	// Train call ("phase=ns/calls" pairs, comma-separated, phase-sorted).
+	// Written only when EmbedTimings is set, so default artifact bytes stay
+	// deterministic.
+	MetaTimings = "train_timings"
 )
+
+// EmbedTimings gates MetaTimings. Off by default: timing values are
+// wall-clock noise, and artifact byte-determinism (cross-engine equality
+// tests, -modeldiff) depends on meta not varying run to run. hamlet -timings
+// flips it for the one binary whose user asked to see the phase breakdown.
+var EmbedTimings = false
+
+// formatTimings renders train-phase deltas (after minus before) as a stable
+// "phase=ns/calls,..." string, dropping phases this Train never entered.
+func formatTimings(before, after map[string]obs.PhaseTotals) string {
+	phases := make([]string, 0, len(after))
+	for phase := range after {
+		phases = append(phases, phase)
+	}
+	sort.Strings(phases)
+	var b strings.Builder
+	for _, phase := range phases {
+		d := after[phase]
+		if prev, ok := before[phase]; ok {
+			d.Ns -= prev.Ns
+			d.Calls -= prev.Calls
+		}
+		if d.Calls == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d/%d", phase, d.Ns, d.Calls)
+	}
+	return b.String()
+}
 
 // BuildArtifact runs the train half of the train → save → serve pipeline:
 // tune and fit the spec on the env's JoinAll view (train/validation splits),
@@ -30,6 +70,10 @@ func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*mo
 	train, val, test, err := e.ViewSplits(ml.JoinAll, nil)
 	if err != nil {
 		return nil, Result{}, err
+	}
+	var phasesBefore map[string]obs.PhaseTotals
+	if EmbedTimings {
+		phasesBefore = obs.TrainPhases()
 	}
 	c, point, valAcc, err := spec.Train(train, val, seed)
 	if err != nil {
@@ -49,6 +93,11 @@ func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*mo
 		MetaView:    ml.JoinAll.String(),
 		MetaValAcc:  strconv.FormatFloat(valAcc, 'g', -1, 64),
 		MetaTestAcc: strconv.FormatFloat(res.TestAcc, 'g', -1, 64),
+	}
+	if EmbedTimings {
+		if t := formatTimings(phasesBefore, obs.TrainPhases()); t != "" {
+			meta[MetaTimings] = t
+		}
 	}
 	for k, v := range extra {
 		meta[k] = v

@@ -9,6 +9,7 @@ package linear
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/ml"
@@ -97,6 +98,7 @@ func (m *LogReg) Fit(train *ml.Dataset) error {
 	step := m.cfg.LearningRate
 	t := 1.0
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		epochT0 := time.Now()
 		r.ShuffleInts(order)
 		for _, i := range order {
 			idx, y := exampleAt(i)
@@ -130,6 +132,7 @@ func (m *LogReg) Fit(train *ml.Dataset) error {
 				m.w[k] = wk
 			}
 		}
+		epochSpan.ObserveSince(epochT0)
 	}
 	return nil
 }

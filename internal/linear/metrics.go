@@ -1,0 +1,6 @@
+package linear
+
+import "repro/internal/obs"
+
+// epochSpan times each proximal-SGD epoch (shuffle + full pass of updates).
+var epochSpan = obs.TrainSpan("logreg_epoch", "one logistic-regression SGD epoch")

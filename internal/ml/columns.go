@@ -1,6 +1,10 @@
 package ml
 
-import "repro/internal/relational"
+import (
+	"time"
+
+	"repro/internal/relational"
+)
 
 // columnMorsel is the chunk size of one ScanFeature step on the learners'
 // column-materialization path: large enough to amortize the per-morsel
@@ -125,6 +129,8 @@ func forEachFeatureSpan(d *Dataset, write func(i, j int, v relational.Value)) {
 // deterministic regardless of scheduling and bit-identical to a sequential
 // pass.
 func ScanRowMajor(d *Dataset) (block []relational.Value, labels []int8) {
+	t0 := time.Now()
+	defer scanSpan.ObserveSince(t0)
 	n := d.NumExamples()
 	k := d.NumFeatures()
 	block = make([]relational.Value, n*k)
@@ -184,6 +190,8 @@ func ExampleAccessor(d *Dataset, enc *Encoder, rowAtATime bool) func(i int) ([]i
 // with disjoint writes, so the result is deterministic and bit-identical to
 // a sequential pass.
 func ScanActiveIndices(d *Dataset, enc *Encoder) (idx []int32, labels []int8) {
+	t0 := time.Now()
+	defer scanSpan.ObserveSince(t0)
 	n := d.NumExamples()
 	k := d.NumFeatures()
 	idx = make([]int32, n*k)

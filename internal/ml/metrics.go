@@ -1,0 +1,9 @@
+package ml
+
+import "repro/internal/obs"
+
+// scanSpan times the column-at-a-time training-set materializations — the
+// "scan" phase of every columnar Fit. One observation per ScanRowMajor /
+// ScanActiveIndices call, so the cost is two clock reads per Fit, not per row.
+var scanSpan = obs.TrainSpan("scan",
+	"column-at-a-time feature scans materializing training blocks")

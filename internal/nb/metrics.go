@@ -1,0 +1,12 @@
+package nb
+
+import "repro/internal/obs"
+
+var (
+	// countSpan times the conditional-count pass — naive Bayes' whole
+	// training cost on either access path.
+	countSpan = obs.TrainSpan("nb_count", "naive Bayes conditional-count pass")
+	// reduceSpan times the merge of per-(feature, span) count slabs into the
+	// final table — the reduce step of the columnar fan-out.
+	reduceSpan = obs.TrainSpan("reduce", "merge of per-task partial aggregates")
+)

@@ -10,6 +10,7 @@ package nb
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ml"
 	"repro/internal/relational"
@@ -83,6 +84,7 @@ func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 
 	var classN [2]float64
 	counts := make([]float64, nb.enc.Dims*2)
+	countT0 := time.Now()
 	if nb.cfg.RowAtATime {
 		for i := 0; i < n; i++ {
 			classN[train.Label(i)]++
@@ -128,6 +130,7 @@ func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 			}
 			slabs[task] = slab
 		})
+		reduceT0 := time.Now()
 		for j := 0; j < d; j++ {
 			base := nb.enc.Offsets[j] * 2
 			for s := 0; s < spans; s++ {
@@ -137,7 +140,9 @@ func (nb *NaiveBayes) Fit(train *ml.Dataset) error {
 				}
 			}
 		}
+		reduceSpan.ObserveSince(reduceT0)
 	}
+	countSpan.ObserveSince(countT0)
 	for c := 0; c < 2; c++ {
 		nb.logPrior[c] = logf((classN[c] + nb.cfg.Alpha) / (float64(n) + 2*nb.cfg.Alpha))
 	}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: log2 octaves subdivided into 4 linear sub-buckets.
+//
+// Values 0..3 get exact unit buckets. A value v >= 4 lands in octave
+// e = floor(log2 v) and sub-bucket (v >> (e-2)) & 3, i.e. bucket index
+// 4*e - 4 + sub. Each bucket then spans 2^(e-2) — a quarter of its octave —
+// so any quantile read from bucket upper bounds overestimates the true value
+// by at most 25% (and small integer values are exact). That bound holds for
+// every bucket at every scale, which is the property a fixed-bucket layout
+// buys over hand-picked boundaries: nanosecond spans and minute-long spans
+// share one 248-bucket array, 2 KiB per histogram, no per-event allocation.
+//
+// Recording is two atomic adds (bucket, sum); count derives from the bucket
+// totals at read time so the exposition's cumulative buckets and _count can
+// never disagree with each other.
+const (
+	histSubBits = 2
+	histSub     = 1 << histSubBits // 4 sub-buckets per octave
+	// 62 octaves cover every positive int64; with 4 unit buckets in front
+	// the last index is 4*62 - 4 + 3 = 247.
+	histBuckets = 248
+)
+
+// Histogram is a fixed-bucket log-scale latency histogram. Observe with
+// nanosecond durations; negative values clamp to zero. The zero value is
+// ready to use (create through Registry.NewHistogram to expose it).
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1
+	sub := int(v>>(uint(e)-histSubBits)) & (histSub - 1)
+	return histSub*e - histSub + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i — the `le` value
+// of its Prometheus bucket line.
+func bucketUpper(i int) float64 {
+	if i < histSub {
+		return float64(i)
+	}
+	e := uint(i+histSub) / histSub // octave of bucket i
+	sub := uint(i+histSub) % histSub
+	// Bucket covers [ (4+sub) << (e-2), (4+sub+1) << (e-2) ); le is the
+	// last contained integer. Unsigned: the top octave's bound is 2^63.
+	return float64((uint64(histSub+sub+1) << (e - histSubBits)) - 1)
+}
+
+// Observe records one value (nanoseconds for latency histograms).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// CountSum returns the total observation count (summed from buckets) and the
+// accumulated value sum. Under concurrent writers the two are each atomically
+// correct but may reflect slightly different instants — the standard
+// lock-free histogram contract.
+func (h *Histogram) CountSum() (count uint64, sum int64) {
+	for i := range h.buckets {
+		count += h.buckets[i].Load()
+	}
+	return count, h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from bucket counts: the
+// upper bound of the first bucket at which the cumulative count reaches
+// q * total. The estimate never undershoots the true quantile's bucket and
+// overestimates by at most 25% (exact for values < 4). Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileFromBuckets(counts[:], total, q)
+}
+
+// quantileFromBuckets is the bucket-walk shared by the live histogram and
+// scrape-delta consumers (hamletload -scrape re-runs it over counter deltas).
+func quantileFromBuckets(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	// Ceiling rank: the q-quantile is the smallest value with at least
+	// ceil(q*n) observations at or below it (p99 of 6 samples is the 6th).
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(len(counts) - 1)
+}
+
+// QuantileFromCumulative computes the q-quantile from Prometheus-style
+// cumulative bucket pairs — les ascending, cums[i] = observations with value
+// <= les[i] — exactly what a scraper recovers from `_bucket` lines (or from
+// the delta of two scrapes). The final pair is treated as +Inf: its count is
+// the total and its le is returned when the rank lands in the open tail.
+// Same ceiling-rank, upper-bound semantics as Histogram.Quantile, so a
+// scrape-side consumer agrees with the live histogram.
+func QuantileFromCumulative(les []float64, cums []uint64, q float64) float64 {
+	if len(les) == 0 || len(les) != len(cums) {
+		return 0
+	}
+	total := cums[len(cums)-1]
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	for i, c := range cums {
+		if c >= rank {
+			return les[i]
+		}
+	}
+	return les[len(les)-1]
+}
+
+// renderProm emits the histogram's cumulative bucket lines, sum, and count.
+// Empty buckets are skipped (cumulative counts keep the semantics); the +Inf
+// bucket always closes the series.
+func (h *Histogram) renderProm(family, labels string) []string {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	sum := h.sum.Load()
+	out := make([]string, 0, 16)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, fmt.Sprintf("%s %d",
+			seriesName(family+"_bucket", labels, fmt.Sprintf("le=%q", formatLe(bucketUpper(i)))), cum))
+	}
+	out = append(out,
+		fmt.Sprintf("%s %d", seriesName(family+"_bucket", labels, `le="+Inf"`), total),
+		fmt.Sprintf("%s %d", seriesName(family+"_sum", labels, ""), sum),
+		fmt.Sprintf("%s %d", seriesName(family+"_count", labels, ""), total))
+	return out
+}
+
+// formatLe renders a bucket bound the way Prometheus clients conventionally
+// do: integral bounds without exponent notation.
+func formatLe(v float64) string {
+	return fmt.Sprintf("%d", uint64(v))
+}

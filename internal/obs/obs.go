@@ -1,0 +1,316 @@
+// Package obs is the repository's telemetry core: allocation-free counters,
+// gauges, latency histograms, and phase spans behind a Prometheus-text-format
+// registry. It exists so the serving, storage, and training layers can answer
+// "why is p99 high right now" and "is the segment cache thrashing" from a
+// live process instead of an offline bench rerun.
+//
+// The design constraint that shapes everything here is the serving tier's
+// zero-allocation contract: the steady-state /predict path must stay at
+// 0 allocs/op with metrics enabled (TestServeAllocations and benchgate's
+// -zero-alloc gate are the proof). So recording is a few atomic adds — no
+// label-map lookups, no interface boxing, no time formatting — and every
+// metric is resolved to a concrete pointer at registration time, never at
+// record time. Exposition (/metrics, /stats) is the cold path and may
+// allocate freely.
+//
+// Concurrency: counters are sharded across cache-line-padded cells so writers
+// on different cores don't serialize on one line; the hot call sites pass a
+// cheap distribution hint (segment index, pooled-scratch id, in-flight rank)
+// that is already in hand. Reads sum the shards — monotonic, but a reader
+// racing writers may observe a value between two adds, which is exactly the
+// Prometheus counter contract.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// counterShards is the stripe count of a Counter. Eight 64-byte cells cover
+// the core counts this system serves on while keeping an idle counter at half
+// a kilobyte; the hint distributes writers, so more stripes only pay off past
+// ~8 hammering cores.
+const (
+	counterShards = 8
+	counterMask   = counterShards - 1
+)
+
+// ccell is one counter stripe, padded to a cache line so neighboring stripes
+// (and neighboring counters in a metrics struct) never false-share.
+type ccell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded counter. The zero value is
+// usable but unregistered; create through a Registry to expose it.
+type Counter struct {
+	shards [counterShards]ccell
+}
+
+// Add increments the counter by n on the default stripe. Use AddHint on paths
+// hot enough that concurrent writers would serialize on one cache line.
+func (c *Counter) Add(n uint64) { c.shards[0].n.Add(n) }
+
+// Inc adds one on the default stripe.
+func (c *Counter) Inc() { c.shards[0].n.Add(1) }
+
+// AddHint increments by n on the stripe selected by hint. The hint is any
+// cheap value that distributes concurrent callers — a segment index, a pooled
+// scratch id, an in-flight rank; correctness never depends on it.
+func (c *Counter) AddHint(hint uint, n uint64) { c.shards[hint&counterMask].n.Add(n) }
+
+// IncHint adds one on the stripe selected by hint.
+func (c *Counter) IncHint(hint uint) { c.shards[hint&counterMask].n.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() uint64 {
+	var v uint64
+	for i := range c.shards {
+		v += c.shards[i].n.Load()
+	}
+	return v
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value loads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered exposition unit. kind drives the # TYPE line;
+// sample values are appended at scrape time.
+type metric struct {
+	family string // series name without const labels
+	labels string // `k="v",...` const labels, empty when none
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// Registration is startup-path (may allocate, panics on duplicates — a
+// duplicate name is a programming error, not an operational condition);
+// recording through the returned pointers is allocation-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// Default is the process-wide registry. Package-level instrumentation
+// (storage counters, training spans) registers here once at init; per-server
+// metrics live on per-server registries so tests can build servers freely.
+var Default = NewRegistry()
+
+// splitName separates `family{k="v"}` into family and label body. A name
+// without braces has no const labels.
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func (r *Registry) register(m *metric, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter. The name may carry const
+// labels: `hamlet_http_requests_total{endpoint="predict"}`.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	family, labels := splitName(name)
+	r.register(&metric{family: family, labels: labels, help: help, kind: "counter", counter: c}, name)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	family, labels := splitName(name)
+	r.register(&metric{family: family, labels: labels, help: help, kind: "gauge", gauge: g}, name)
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time —
+// for quantities another subsystem already tracks (resident bytes, history
+// depth, uptime).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	family, labels := splitName(name)
+	r.register(&metric{family: family, labels: labels, help: help, kind: "gauge", gaugeFn: fn}, name)
+}
+
+// NewHistogram registers and returns a fixed-bucket log-scale histogram (see
+// Histogram for the bucket layout and error bounds).
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	family, labels := splitName(name)
+	r.register(&metric{family: family, labels: labels, help: help, kind: "histogram", hist: h}, name)
+	return h
+}
+
+// Value is one scraped sample: a fully qualified series name and its value.
+// Histograms contribute their _count and _sum series (buckets are exposition
+// detail; use Histogram.Quantile for percentiles).
+type Value struct {
+	Name string
+	V    float64
+}
+
+// Values snapshots every registered series — the shared source /stats reads,
+// so the JSON blob and the Prometheus exposition can never disagree.
+func (r *Registry) Values() []Value {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make([]Value, 0, len(metrics))
+	for _, m := range metrics {
+		name := m.family
+		if m.labels != "" {
+			name += "{" + m.labels + "}"
+		}
+		switch {
+		case m.counter != nil:
+			out = append(out, Value{name, float64(m.counter.Value())})
+		case m.gaugeFn != nil:
+			out = append(out, Value{name, m.gaugeFn()})
+		case m.gauge != nil:
+			out = append(out, Value{name, float64(m.gauge.Value())})
+		case m.hist != nil:
+			count, sum := m.hist.CountSum()
+			out = append(out,
+				Value{seriesName(m.family+"_count", m.labels, ""), float64(count)},
+				Value{seriesName(m.family+"_sum", m.labels, ""), float64(sum)})
+		}
+	}
+	return out
+}
+
+// seriesName assembles family plus const labels plus an optional extra label.
+func seriesName(family, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return family
+	case labels == "":
+		return family + "{" + extra + "}"
+	case extra == "":
+		return family + "{" + labels + "}"
+	default:
+		return family + "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE once per family, series sorted by name
+// within a family, histogram buckets cumulative with a closing +Inf. Cold
+// path — called per scrape, never per request.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	// Group by family, preserving registration order of first appearance so
+	// related series render together.
+	type family struct {
+		name, help, kind string
+		members          []*metric
+	}
+	var fams []*family
+	byName := map[string]*family{}
+	for _, m := range metrics {
+		f := byName[m.family]
+		if f == nil {
+			f = &family{name: m.family, help: m.help, kind: m.kind}
+			byName[m.family] = f
+			fams = append(fams, f)
+		}
+		f.members = append(f.members, m)
+	}
+
+	var b []byte
+	for _, f := range fams {
+		if f.help != "" {
+			b = append(b, "# HELP "...)
+			b = append(b, f.name...)
+			b = append(b, ' ')
+			b = append(b, f.help...)
+			b = append(b, '\n')
+		}
+		b = append(b, "# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.kind...)
+		b = append(b, '\n')
+		// Histogram buckets must stay in ascending-le order, so histogram
+		// families render member by member; scalar families sort their
+		// series by name for stable scrapes.
+		if f.kind == "histogram" {
+			for _, m := range f.members {
+				for _, ln := range m.render() {
+					b = append(b, ln...)
+					b = append(b, '\n')
+				}
+			}
+		} else {
+			lines := make([]string, 0, len(f.members))
+			for _, m := range f.members {
+				lines = append(lines, m.render()...)
+			}
+			sort.Strings(lines)
+			for _, ln := range lines {
+				b = append(b, ln...)
+				b = append(b, '\n')
+			}
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// render returns one metric's sample lines (unsorted, no trailing newline).
+func (m *metric) render() []string {
+	name := m.family
+	if m.labels != "" {
+		name += "{" + m.labels + "}"
+	}
+	switch {
+	case m.counter != nil:
+		return []string{fmt.Sprintf("%s %d", name, m.counter.Value())}
+	case m.gaugeFn != nil:
+		return []string{fmt.Sprintf("%s %v", name, m.gaugeFn())}
+	case m.gauge != nil:
+		return []string{fmt.Sprintf("%s %d", name, m.gauge.Value())}
+	case m.hist != nil:
+		return m.hist.renderProm(m.family, m.labels)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent proves counter adds are lost-update-free across
+// goroutines and hint stripes — the -race run doubles as the memory-model
+// proof for the sharded layout.
+func TestCounterConcurrent(t *testing.T) {
+	const workers, perWorker = 16, 10000
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 3 {
+				case 0:
+					c.Inc()
+				case 1:
+					c.AddHint(uint(w), 1)
+				default:
+					c.IncHint(uint(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("gauge = %d, want 40", g.Value())
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks the count and sum survive intact.
+func TestHistogramConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 20000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	count, sum := h.CountSum()
+	if count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", count, workers*perWorker)
+	}
+	var want int64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			want += int64(w*1000 + i)
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+// TestBucketLayout pins the bucket math: indices are monotone in the value,
+// every value falls at or under its bucket's upper bound, and upper bounds
+// strictly increase — the monotonicity the /metrics bucket lines inherit.
+func TestBucketLayout(t *testing.T) {
+	prev := -1.0
+	for i := 0; i < histBuckets; i++ {
+		u := bucketUpper(i)
+		if u <= prev {
+			t.Fatalf("bucketUpper(%d) = %v <= bucketUpper(%d) = %v", i, u, i-1, prev)
+		}
+		prev = u
+	}
+	last := 0
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 999, 1000, 4095, 4096,
+		1 << 20, 1<<20 + 1, 1 << 40, 1<<62 + 12345, 1<<63 - 1} {
+		i := bucketIndex(v)
+		if i < last {
+			t.Fatalf("bucketIndex(%d) = %d below previous %d", v, i, last)
+		}
+		last = i
+		if u := bucketUpper(i); float64(v) > u {
+			t.Fatalf("value %d above its bucket bound %v (bucket %d)", v, u, i)
+		}
+		if i > 0 {
+			if u := bucketUpper(i - 1); float64(v) <= u {
+				t.Fatalf("value %d fits the previous bucket (bound %v)", v, u)
+			}
+		}
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0")
+	}
+}
+
+// TestQuantileAccuracy checks the documented error bound: the estimate never
+// undershoots the true quantile and overshoots by at most 25% (exactly for
+// values below 4). Exercised over a wide log-spread so every octave size is
+// hit.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	var values []int64
+	v := int64(1)
+	for len(values) < 4096 {
+		values = append(values, v, v+v/3, v+2*v/3)
+		v = v * 5 / 4
+		if v > 1<<40 {
+			v = 1
+		}
+	}
+	for _, x := range values {
+		h.Observe(x)
+	}
+	// values was built sorted per cycle but cycles interleave; sort a copy.
+	sorted := append([]int64(nil), values...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		rank := int(q * float64(len(sorted)))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := float64(sorted[rank-1])
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%v: estimate %v undershoots exact %v", q, got, exact)
+		}
+		if limit := exact*1.25 + 3; got > limit {
+			t.Errorf("q=%v: estimate %v above error bound %v (exact %v)", q, got, limit, exact)
+		}
+	}
+	if h.Quantile(0.5) == 0 {
+		t.Fatal("sanity: non-empty histogram must yield a nonzero quantile")
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	sp := r.NewSpan("test_phase", "warm", "warm phase")
+	t0 := time.Now().Add(-time.Millisecond)
+	sp.ObserveSince(t0)
+	sp.ObserveSince(t0)
+	ns, calls := sp.Totals()
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	if ns < 2*uint64(time.Millisecond) {
+		t.Fatalf("ns = %d, want >= 2ms", ns)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.NewCounter("dup_total", "")
+}
+
+// TestValuesSnapshot proves /stats' data source: every registered series
+// appears with its live value under its fully qualified name.
+func TestValuesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter(`reqs_total{endpoint="predict"}`, "")
+	g := r.NewGauge("depth", "")
+	r.NewGaugeFunc("uptime", "", func() float64 { return 7.5 })
+	h := r.NewHistogram("lat_ns", "")
+	c.Add(3)
+	g.Set(-2)
+	h.Observe(10)
+	h.Observe(20)
+	got := map[string]float64{}
+	for _, v := range r.Values() {
+		got[v.Name] = v.V
+	}
+	want := map[string]float64{
+		`reqs_total{endpoint="predict"}`: 3,
+		"depth":                          -2,
+		"uptime":                         7.5,
+		"lat_ns_count":                   2,
+		"lat_ns_sum":                     30,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Values[%q] = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+// TestRecordingAllocations pins the telemetry primitives at zero allocations
+// per record — the property that lets the serving hot path carry metrics
+// without breaking its 0 allocs/op contract.
+func TestRecordingAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are proven in the non-race run")
+	}
+	r := NewRegistry()
+	c := r.NewCounter("alloc_probe_total", "")
+	h := r.NewHistogram("alloc_probe_ns", "")
+	sp := r.NewSpan("alloc_probe_phase", "x", "")
+	g := r.NewGauge("alloc_probe_gauge", "")
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.AddHint(3, 2)
+		g.Set(1)
+		h.Observe(12345)
+		t0 := time.Now()
+		sp.ObserveSince(t0)
+	}); avg != 0 {
+		t.Errorf("recording path: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestQuantileFromCumulative pins the scrape-side quantile walk against the
+// live histogram: feeding it the histogram's own rendered cumulative buckets
+// must reproduce Quantile exactly, and hand-built pairs exercise the rank
+// edges.
+func TestQuantileFromCumulative(t *testing.T) {
+	// Hand-built: 10 observations <= 100, 89 more <= 1000, 1 in the tail.
+	les := []float64{100, 1000, math.Inf(1)}
+	cums := []uint64{10, 99, 100}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.10, 100},          // rank 10 lands exactly on the first bucket
+		{0.50, 1000},         // rank 50
+		{0.99, 1000},         // rank 99 is still inside the second bucket
+		{0.999, math.Inf(1)}, // rank 100: the open tail
+	} {
+		if got := QuantileFromCumulative(les, cums, tc.q); got != tc.want {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := QuantileFromCumulative(nil, nil, 0.5); got != 0 {
+		t.Errorf("empty input: got %v, want 0", got)
+	}
+	if got := QuantileFromCumulative([]float64{1}, []uint64{0}, 0.5); got != 0 {
+		t.Errorf("zero total: got %v, want 0", got)
+	}
+
+	// Live-histogram agreement: scrape-style pairs built from the histogram's
+	// own buckets must agree with Quantile at every probed q.
+	h := NewRegistry().NewHistogram("t_q_cum", "")
+	rng := uint64(1)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		h.Observe(int64(rng >> 44)) // ~[0, 1M)
+	}
+	var les2 []float64
+	var cums2 []uint64
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			cum += c
+			les2 = append(les2, bucketUpper(i))
+			cums2 = append(cums2, cum)
+		}
+	}
+	les2 = append(les2, math.Inf(1))
+	cums2 = append(cums2, cum)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := QuantileFromCumulative(les2, cums2, q), h.Quantile(q); got != want {
+			t.Errorf("q=%v: scrape-side %v != live %v", q, got, want)
+		}
+	}
+}

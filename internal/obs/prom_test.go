@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a validating Prometheus text-format (0.0.4) reader: it
+// checks comment structure, line grammar, and per-family TYPE declarations,
+// and returns every sample keyed by its fully qualified series name. The
+// /metrics endpoint and hamletload -scrape both depend on this grammar, so
+// the conformance test parses rather than substring-matches.
+func parseExposition(t *testing.T, b []byte) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("unknown TYPE %q in %q", fields[3], line)
+				}
+				if _, dup := types[fields[2]]; dup {
+					t.Fatalf("family %q declared twice", fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unbalanced label braces in %q", name)
+			}
+			for _, kv := range strings.Split(name[i+1:len(name)-1], ",") {
+				k, val, ok := strings.Cut(kv, "=")
+				if !ok || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' || k == "" {
+					t.Fatalf("malformed label %q in %q", kv, name)
+				}
+			}
+		}
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		base := family
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if h := strings.TrimSuffix(family, suf); h != family && types[h] == "histogram" {
+				base = h
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no TYPE declaration", name)
+		}
+		if _, dup := samples[name]; dup {
+			t.Fatalf("series %q emitted twice", name)
+		}
+		samples[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestPrometheusConformance renders a mixed registry and validates the
+// exposition: grammar, label syntax, histogram bucket monotonicity, and
+// count/sum consistency.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.NewCounter(`http_requests_total{endpoint="predict"}`, "requests by endpoint")
+	reqsB := r.NewCounter(`http_requests_total{endpoint="predict_batch"}`, "requests by endpoint")
+	depth := r.NewGauge("queue_depth", "instantaneous queue depth")
+	r.NewGaugeFunc("uptime_seconds", "seconds since boot", func() float64 { return 12.25 })
+	lat := r.NewHistogram(`request_ns{endpoint="predict"}`, "request latency")
+	sp := r.NewSpan("train_phase", "scan", "column scan")
+
+	reqs.Add(5)
+	reqsB.Add(2)
+	depth.Set(3)
+	for _, v := range []int64{1, 3, 17, 17, 900, 1 << 20} {
+		lat.Observe(v)
+	}
+	sp.ns.Add(1000)
+	sp.calls.Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.Bytes())
+
+	if samples[`http_requests_total{endpoint="predict"}`] != 5 ||
+		samples[`http_requests_total{endpoint="predict_batch"}`] != 2 {
+		t.Fatalf("counter samples wrong: %v", samples)
+	}
+	if samples["queue_depth"] != 3 || samples["uptime_seconds"] != 12.25 {
+		t.Fatalf("gauge samples wrong: %v", samples)
+	}
+	if samples[`train_phase_ns_total{phase="scan"}`] != 1000 ||
+		samples[`train_phase_calls_total{phase="scan"}`] != 1 {
+		t.Fatalf("span samples wrong: %v", samples)
+	}
+
+	// Histogram: cumulative buckets must be monotone in ascending le order as
+	// emitted, and the +Inf bucket must equal _count; _sum must match the
+	// observed total.
+	var lastCum float64 = -1
+	var infSeen bool
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `request_ns_bucket{`) {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, _ := strconv.ParseFloat(line[sp+1:], 64)
+		if v < lastCum {
+			t.Fatalf("bucket counts not cumulative at %q (prev %v)", line, lastCum)
+		}
+		lastCum = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != samples[`request_ns_count{endpoint="predict"}`] {
+				t.Fatalf("+Inf bucket %v != count %v", v, samples[`request_ns_count{endpoint="predict"}`])
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("histogram missing +Inf bucket")
+	}
+	if want := float64(1 + 3 + 17 + 17 + 900 + 1<<20); samples[`request_ns_sum{endpoint="predict"}`] != want {
+		t.Fatalf("histogram sum = %v, want %v", samples[`request_ns_sum{endpoint="predict"}`], want)
+	}
+	if samples[`request_ns_count{endpoint="predict"}`] != 6 {
+		t.Fatalf("histogram count = %v, want 6", samples[`request_ns_count{endpoint="predict"}`])
+	}
+
+	// Every quantile from the exposition's buckets must bound the recorded
+	// values the way Histogram.Quantile documents.
+	if q := lat.Quantile(0.99); q < float64(1<<20) {
+		t.Fatalf("p99 %v below max observed value", q)
+	}
+
+	// HELP text renders once per family even with several members.
+	if n := bytes.Count(buf.Bytes(), []byte("# HELP http_requests_total")); n != 1 {
+		t.Fatalf("HELP for http_requests_total rendered %d times", n)
+	}
+}

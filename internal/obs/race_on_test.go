@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled mirrors internal/serve's convention: allocation-count tests
+// skip under the race detector, whose instrumentation allocates.
+const raceEnabled = true

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is a lightweight phase timer for coarse training stages: cumulative
+// nanoseconds and call count, both plain counters. A span is recorded with
+//
+//	t0 := time.Now()
+//	defer sp.ObserveSince(t0)
+//
+// — two clock reads and two atomic adds per phase, no closure, no
+// allocation. Spans are deliberately coarse (per Fit, per Gram build, per
+// epoch), so their overhead is invisible next to the work they time; per-row
+// instrumentation belongs in a profiler (hamletd -pprof), not here.
+type Span struct {
+	ns    *Counter
+	calls *Counter
+}
+
+// NewSpan registers a span as a counter pair:
+//
+//	<family>_ns_total{phase="<phase>"}
+//	<family>_calls_total{phase="<phase>"}
+func (r *Registry) NewSpan(family, phase, help string) *Span {
+	label := `phase="` + phase + `"`
+	return &Span{
+		ns:    r.NewCounter(family+"_ns_total{"+label+"}", help+" (cumulative nanoseconds)"),
+		calls: r.NewCounter(family+"_calls_total{"+label+"}", help+" (times entered)"),
+	}
+}
+
+// ObserveSince adds the elapsed time since t0 and one call.
+func (s *Span) ObserveSince(t0 time.Time) {
+	s.ns.Add(uint64(time.Since(t0)))
+	s.calls.Inc()
+}
+
+// Totals returns the accumulated nanoseconds and call count.
+func (s *Span) Totals() (ns uint64, calls uint64) {
+	return s.ns.Value(), s.calls.Value()
+}
+
+// TrainPhaseFamily is the series family every training-phase span shares, so
+// consumers (hamlet -timings, artifact provenance meta) can select all
+// phases by prefix.
+const TrainPhaseFamily = "hamlet_train_phase"
+
+// TrainSpan registers a training-phase span on the Default registry — the
+// one-liner the learner packages use at init:
+//
+//	var spanGram = obs.TrainSpan("gram_build", "SVM kernel Gram-matrix build")
+func TrainSpan(phase, help string) *Span {
+	sp := Default.NewSpan(TrainPhaseFamily, phase, help)
+	trainMu.Lock()
+	trainSpans[phase] = sp
+	trainMu.Unlock()
+	return sp
+}
+
+var (
+	trainMu    sync.Mutex
+	trainSpans = map[string]*Span{}
+)
+
+// PhaseTotals is one training phase's accumulated wall time and entry count.
+type PhaseTotals struct {
+	Ns    uint64
+	Calls uint64
+}
+
+// TrainPhases snapshots every registered training-phase span, keyed by phase
+// name. hamlet -timings prints the snapshot after training; core.BuildArtifact
+// diffs two snapshots around Train to embed per-phase timings in artifact
+// provenance meta.
+func TrainPhases() map[string]PhaseTotals {
+	trainMu.Lock()
+	defer trainMu.Unlock()
+	out := make(map[string]PhaseTotals, len(trainSpans))
+	for phase, sp := range trainSpans {
+		ns, calls := sp.Totals()
+		out[phase] = PhaseTotals{Ns: ns, Calls: calls}
+	}
+	return out
+}

@@ -63,10 +63,13 @@ func selectEqZoned(r segmentZoned, name string, col int, v Value) *Table {
 	out := NewTable(name, schema, 0)
 	row := make([]Value, schema.Width())
 	var buf []Value
+	var skipped, scanned uint64
 	for s, ns := 0, r.NumSegments(); s < ns; s++ {
 		if !r.SegmentMayContain(s, col, v) {
+			skipped++
 			continue
 		}
+		scanned++
 		lo, hi := r.SegmentRows(s)
 		if m := hi - lo; cap(buf) < m {
 			buf = make([]Value, m)
@@ -79,6 +82,9 @@ func selectEqZoned(r segmentZoned, name string, col int, v Value) *Table {
 			}
 		}
 	}
+	// Two batched adds per scan, not one per segment.
+	ZoneSegmentsSkipped.Add(skipped)
+	ZoneSegmentsScanned.Add(scanned)
 	return out
 }
 

@@ -294,6 +294,7 @@ func (t *SegmentedTable) evictLocked() {
 		}
 		victim.data.Store(nil)
 		t.resident -= victim.bytes
+		SegCacheEvictions.Inc()
 	}
 }
 
@@ -307,6 +308,7 @@ func (t *SegmentedTable) fault(e *segEntry) *segment {
 	if s := e.data.Load(); s != nil { // raced with another fault
 		e.pins.Add(1)
 		e.lastUse.Store(t.tick.Add(1))
+		SegCacheHits.Inc()
 		return s
 	}
 	blob, err := t.pager.readBlob(e.off, e.blobLen)
@@ -321,6 +323,8 @@ func (t *SegmentedTable) fault(e *segEntry) *segment {
 	e.lastUse.Store(t.tick.Add(1))
 	e.data.Store(s)
 	t.resident += e.bytes
+	SegCacheMisses.Inc()
+	SegCacheFaultedBytes.Add(uint64(e.bytes))
 	t.evictLocked()
 	return s
 }
@@ -338,6 +342,9 @@ func (t *SegmentedTable) acquire(si int) *segment {
 	e.pins.Add(1)
 	if s := e.data.Load(); s != nil {
 		e.lastUse.Store(t.tick.Add(1))
+		// Hint by segment index so concurrent per-segment scan tasks land on
+		// different counter stripes instead of one contended cache line.
+		SegCacheHits.IncHint(uint(si))
 		return s
 	}
 	e.pins.Add(-1)

@@ -46,6 +46,7 @@ type cbatch struct {
 	err     error
 	readers atomic.Int32
 	timer   *time.Timer
+	opened  time.Time // when the batch was opened; flush observes the residency
 	bs      batchScratch
 }
 
@@ -91,6 +92,11 @@ type Coalescer struct {
 	batches   atomic.Uint64
 	coalesced atomic.Uint64
 	direct    atomic.Uint64
+
+	// m carries the owning registry's telemetry (batch-fill and residency
+	// histograms, flush-reason counters). Nil for a bare NewCoalescer — the
+	// flush path guards once per batch, never per request.
+	m *Metrics
 }
 
 // minProbeStreak is the direct-call streak before the first batching probe;
@@ -136,6 +142,7 @@ func (c *Coalescer) newBatch(snap *Snapshot) *cbatch {
 	}
 	b.snap = snap
 	b.done = make(chan struct{})
+	b.opened = time.Now()
 	b.timer = time.AfterFunc(c.cfg.Window, func() { c.flushExpired(b) })
 	return b
 }
@@ -189,6 +196,9 @@ func (c *Coalescer) Predict(snap *Snapshot, req []relational.Value) (Prediction,
 		c.cur = nil
 		c.mu.Unlock()
 		b.timer.Stop()
+		if c.m != nil {
+			c.m.flushSwap.Inc()
+		}
 		c.flush(b)
 		c.mu.Lock()
 	}
@@ -208,6 +218,9 @@ func (c *Coalescer) Predict(snap *Snapshot, req []relational.Value) (Prediction,
 
 	if full {
 		b.timer.Stop()
+		if c.m != nil {
+			c.m.flushFull.Inc()
+		}
 		c.flush(b)
 	}
 	<-b.done
@@ -228,6 +241,9 @@ func (c *Coalescer) flushExpired(b *cbatch) {
 	}
 	c.cur = nil
 	c.mu.Unlock()
+	if c.m != nil {
+		c.m.flushWindow.Inc()
+	}
 	c.flush(b)
 }
 
@@ -244,6 +260,13 @@ func (c *Coalescer) flush(b *cbatch) {
 	b.err = b.snap.Engine.predictBatchInto(preds, b.reqs, &b.bs)
 	c.batches.Add(1)
 	c.coalesced.Add(uint64(n))
+	if c.m != nil {
+		// Amortized per batch, not per request: one fill sample and one
+		// residency sample (open → flush, an upper bound on any waiter's
+		// queue time) per flush.
+		c.m.coalFill.Observe(int64(n))
+		c.m.coalWait.Observe(int64(time.Since(b.opened)))
+	}
 	c.mu.Lock()
 	c.streak = 0
 	if n > 1 {

@@ -491,4 +491,23 @@ func TestServeAllocations(t *testing.T) {
 	}); avg/float64(len(reqs)) >= 1 {
 		t.Errorf("predictBatchInto (hidden): %v allocs per batch of %d", avg, len(reqs))
 	}
+
+	// The instrumented hot path: exactly the telemetry sequence handlePredict
+	// adds around a request (endpoint counter, three phase observations plus
+	// the total) must record without allocating — the property that lets
+	// /metrics coexist with the zero-alloc serving contract.
+	m := reg.Metrics()
+	if avg := testing.AllocsPerRun(1000, func() {
+		t0 := time.Now()
+		m.reqPredict.Inc()
+		if _, err := slot.Predict(req); err != nil {
+			t.Fatal(err)
+		}
+		m.predictDecode.Observe(int64(time.Since(t0)))
+		m.predictScore.Observe(int64(time.Since(t0)))
+		m.predictEncode.Observe(int64(time.Since(t0)))
+		m.predictTotal.Observe(int64(time.Since(t0)))
+	}); avg != 0 {
+		t.Errorf("instrumented predict path: %v allocs/op, want 0", avg)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/relational"
 )
 
@@ -44,12 +45,11 @@ type Server struct {
 	maxBatch int
 	start    time.Time
 
-	requests atomic.Int64
 	examples atomic.Int64
-	errors   atomic.Int64
 	batchMax atomic.Int64
 	mux      *http.ServeMux
 	scratch  sync.Pool
+	m        *Metrics
 }
 
 // ServerConfig bounds the HTTP surface.
@@ -101,6 +101,7 @@ func NewRegistryServer(reg *Registry, cfg ServerConfig) *Server {
 		maxBody:  cfg.MaxBodyBytes,
 		maxBatch: cfg.MaxBatchLen,
 		start:    time.Now(),
+		m:        reg.Metrics(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/predict", s.handlePredict)
@@ -109,6 +110,7 @@ func NewRegistryServer(reg *Registry, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/swap", s.handleSwap)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -143,7 +145,7 @@ func (s *Server) putScratch(sc *hscratch) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, sc *hscratch, code int, format string, args ...any) {
-	s.errors.Add(1)
+	s.m.errCounter(code).Inc()
 	var buf []byte
 	if sc != nil {
 		buf = sc.out[:0]
@@ -251,7 +253,12 @@ func parseRequestInto(e *Engine, dst []relational.Value, obj map[string]int32) (
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	// Phase timing happens here, at µs handler granularity — four clock
+	// reads and a few atomic adds per request, never inside the ~16ns
+	// factorized score. Error returns skip the latency histograms; they are
+	// counted by code in fail().
+	t0 := time.Now()
+	s.m.reqPredict.Inc()
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	if r.Method != http.MethodPost {
@@ -281,6 +288,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tDec := time.Now()
 	var p Prediction
 	switch {
 	case factorized:
@@ -297,10 +305,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tScore := time.Now()
 	s.examples.Add(1)
 	sc.out = appendPredictResponse(sc.out[:0], p, factorized)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(sc.out)
+	end := time.Now()
+	s.m.predictDecode.Observe(int64(tDec.Sub(t0)))
+	s.m.predictScore.Observe(int64(tScore.Sub(tDec)))
+	s.m.predictEncode.Observe(int64(end.Sub(tScore)))
+	s.m.predictTotal.Observe(int64(end.Sub(t0)))
 }
 
 // failResolve maps slot/mode resolution errors: unknown slots are 404, bad
@@ -393,7 +407,8 @@ func (s *Server) decodeBatch(dec *json.Decoder, e *Engine, sc *hscratch) ([][]re
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	t0 := time.Now()
+	s.m.reqBatch.Inc()
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	if r.Method != http.MethodPost {
@@ -418,6 +433,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, sc, code, "%v", err)
 		return
 	}
+	tDec := time.Now()
 	var preds []Prediction
 	if factorized == snap.Engine.Factorized() {
 		preds, err = snap.Engine.PredictBatch(reqs)
@@ -436,6 +452,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tScore := time.Now()
 	s.examples.Add(int64(len(preds)))
 	for n := int64(len(preds)); ; {
 		cur := s.batchMax.Load()
@@ -443,9 +460,15 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
+	s.m.batchMax.Set(s.batchMax.Load())
 	sc.out = appendBatchResponse(sc.out[:0], preds, factorized)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(sc.out)
+	end := time.Now()
+	s.m.batchDecode.Observe(int64(tDec.Sub(t0)))
+	s.m.batchScore.Observe(int64(tScore.Sub(tDec)))
+	s.m.batchEncode.Observe(int64(end.Sub(tScore)))
+	s.m.batchTotal.Observe(int64(end.Sub(t0)))
 }
 
 // predictResponse documents /predict's wire shape; the hot path encodes it
@@ -595,9 +618,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	coal := map[string]CoalescerStats{}
+	history := map[string][]int{}
 	for _, sl := range s.reg.Slots() {
 		coal[sl.Name()] = sl.Coalescer().Stats()
+		var versions []int
+		for _, h := range sl.Versions() {
+			versions = append(versions, h.Version)
+		}
+		history[sl.Name()] = versions
 	}
+	// The segment-cache and zone-map blocks read the same obs counters the
+	// Prometheus exposition renders, so /stats and /metrics cannot disagree.
 	writeJSON(w, map[string]any{
 		"model":       e.Model().Kind,
 		"version":     slot.Snapshot().Version,
@@ -605,13 +636,42 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"factorized":  e.Factorized(),
 		"dimensions":  e.NumDimensions(),
 		"inputs":      len(e.InputFeatures()),
-		"requests":    s.requests.Load(),
+		"requests":    s.m.requestsTotal(),
 		"examples":    s.examples.Load(),
-		"errors":      s.errors.Load(),
+		"errors":      s.m.errorsTotal(),
 		"batch_max":   s.batchMax.Load(),
 		"uptime_ms":   time.Since(s.start).Milliseconds(),
 		"mallocs":     ms.Mallocs,
 		"coalescer":   coal,
 		"meta":        e.Model().Meta,
+		"history":     history,
+		"swaps":       s.m.swaps.Value(),
+		"rollbacks":   s.m.rollbacks.Value(),
+		"segcache": map[string]uint64{
+			"hits":          relational.SegCacheHits.Value(),
+			"misses":        relational.SegCacheMisses.Value(),
+			"evictions":     relational.SegCacheEvictions.Value(),
+			"faulted_bytes": relational.SegCacheFaultedBytes.Value(),
+		},
+		"zonemap": map[string]uint64{
+			"segments_skipped": relational.ZoneSegmentsSkipped.Value(),
+			"segments_scanned": relational.ZoneSegmentsScanned.Value(),
+		},
 	})
+}
+
+// handleMetrics renders the Prometheus text exposition: the registry's
+// serving metrics (per-endpoint latency, coalescer, registry transitions)
+// followed by the process-wide obs.Default (segment cache, zone maps,
+// training-phase spans). One scrape covers all three layers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, nil, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.m.Obs.WritePrometheus(w); err != nil {
+		return
+	}
+	obs.Default.WritePrometheus(w)
 }

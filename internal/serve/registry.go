@@ -88,20 +88,25 @@ func (s *Slot) Versions() []*Snapshot {
 // with atomic hot-swap and bounded rollback. Slot lookup is lock-free
 // (copy-on-write map behind an atomic pointer); mutations serialize on mu.
 type Registry struct {
-	mu    sync.Mutex
-	slots atomic.Pointer[map[string]*Slot]
-	def   atomic.Pointer[Slot]
-	ccfg  CoalescerConfig
+	mu      sync.Mutex
+	slots   atomic.Pointer[map[string]*Slot]
+	def     atomic.Pointer[Slot]
+	ccfg    CoalescerConfig
+	metrics *Metrics
 }
 
 // NewRegistry builds an empty registry whose slots will coalesce requests
 // under cfg.
 func NewRegistry(cfg CoalescerConfig) *Registry {
-	r := &Registry{ccfg: cfg}
+	r := &Registry{ccfg: cfg, metrics: newMetrics()}
 	empty := map[string]*Slot{}
 	r.slots.Store(&empty)
 	return r
 }
+
+// Metrics returns the registry's serving telemetry (shared by its slots'
+// coalescers and the HTTP front end).
+func (r *Registry) Metrics() *Metrics { return r.metrics }
 
 // Register adds a new slot serving e as version 1. The first slot registered
 // becomes the default (the slot unnamed requests resolve to). Duplicate
@@ -117,7 +122,9 @@ func (r *Registry) Register(name string, e *Engine) (*Slot, error) {
 	if _, ok := old[name]; ok {
 		return nil, fmt.Errorf("serve: model %q already registered", name)
 	}
-	s := &Slot{name: name, coal: NewCoalescer(r.ccfg), nextVer: 2}
+	coal := NewCoalescer(r.ccfg)
+	coal.m = r.metrics
+	s := &Slot{name: name, coal: coal, nextVer: 2}
 	s.install(&Snapshot{Name: name, Version: 1, Engine: e, Swapped: time.Now()})
 	next := make(map[string]*Slot, len(old)+1)
 	for k, v := range old {
@@ -169,6 +176,7 @@ func (r *Registry) Swap(name string, m *model.Model) (*Snapshot, error) {
 	snap := &Snapshot{Name: s.name, Version: s.nextVer, Engine: e, Swapped: time.Now()}
 	s.nextVer++
 	s.install(snap)
+	r.metrics.swaps.Inc()
 	return snap, nil
 }
 
@@ -195,5 +203,6 @@ func (r *Registry) Rollback(name string, version int) (*Snapshot, error) {
 	snap := &Snapshot{Name: s.name, Version: s.nextVer, Engine: old.Engine, Swapped: time.Now()}
 	s.nextVer++
 	s.install(snap)
+	r.metrics.rollbacks.Inc()
 	return snap, nil
 }

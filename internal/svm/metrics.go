@@ -1,0 +1,12 @@
+package svm
+
+import "repro/internal/obs"
+
+var (
+	// gramSpan times the full n×n kernel Gram-matrix build (blocked or
+	// per-pair), the dominant pre-pass of a cached SMO fit.
+	gramSpan = obs.TrainSpan("gram_build", "SVM kernel Gram-matrix build")
+	// smoPassSpan times each full SMO pass over the examples, so a scrape
+	// separates "many cheap converged passes" from "few expensive ones".
+	smoPassSpan = obs.TrainSpan("smo_pass", "one full SMO optimization pass")
+)

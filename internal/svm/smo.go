@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"time"
 
 	"repro/internal/ml"
 	"repro/internal/relational"
@@ -158,13 +159,15 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	// GramRows build the historical path keeps.
 	var kcache []float32
 	cacheOK := n <= 4096
-	switch {
-	case cacheOK && columnar:
+	if cacheOK {
 		kcache = make([]float32, n*n)
-		k.GramBlocked(kcache, block, n)
-	case cacheOK:
-		kcache = make([]float32, n*n)
-		k.GramRows(kcache, rows)
+		t0 := time.Now()
+		if columnar {
+			k.GramBlocked(kcache, block, n)
+		} else {
+			k.GramRows(kcache, rows)
+		}
+		gramSpan.ObserveSince(t0)
 	}
 	kij := func(i, j int) float64 {
 		if cacheOK {
@@ -221,6 +224,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 
 	passes, iter := 0, 0
 	for passes < s.cfg.MaxPasses && iter < maxIter {
+		passT0 := time.Now()
 		changed := 0
 		for i := 0; i < n && iter < maxIter; i++ {
 			iter++
@@ -276,6 +280,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 			setActive(j, ajNew > 0)
 			changed++
 		}
+		smoPassSpan.ObserveSince(passT0)
 		if changed == 0 {
 			passes++
 		} else {

@@ -1,0 +1,7 @@
+package tree
+
+import "repro/internal/obs"
+
+// splitSpan times the recursive split search — a decision tree's entire grow
+// phase, observed once per Fit.
+var splitSpan = obs.TrainSpan("tree_split", "decision-tree split search (grow)")

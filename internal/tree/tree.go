@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/ml"
 	"repro/internal/relational"
@@ -259,7 +260,9 @@ func (t *Tree) Fit(train *ml.Dataset) error {
 	if rootImpurity == 0 {
 		rootImpurity = 1 // degenerate pure root; cp threshold is irrelevant
 	}
+	growT0 := time.Now()
 	t.grow(train, idx, rootImpurity, 0)
+	splitSpan.ObserveSince(growT0)
 	t.batch = nil
 	return nil
 }
