@@ -523,7 +523,7 @@ func BenchmarkLogRegFitColumnar(b *testing.B) { benchLogRegFit(b, true) }
 // build plus the optimization loop — under per-row materialization and
 // row-pair match counts vs batched column scans and the morsel-parallel
 // columnar cache build.
-func benchSVMFit(b *testing.B, columnar bool) {
+func benchSVMFit(b *testing.B, columnar, errorCache bool) {
 	engine := core.EngineRow
 	if columnar {
 		engine = core.EngineColumnar
@@ -536,6 +536,7 @@ func benchSVMFit(b *testing.B, columnar bool) {
 		SubsampleCap: envInt("REPRO_SVMCAP", 1024),
 		Seed:         7,
 		RowAtATime:   !columnar,
+		ErrorCache:   errorCache,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -552,17 +553,25 @@ func benchSVMFit(b *testing.B, columnar bool) {
 
 // BenchmarkSVMFitRowAtATime is the historical path: MaterializedRows plus a
 // sequential row-pair kernel cache.
-func BenchmarkSVMFitRowAtATime(b *testing.B) { benchSVMFit(b, false) }
+func BenchmarkSVMFitRowAtATime(b *testing.B) { benchSVMFit(b, false, false) }
 
 // BenchmarkSVMFitColumnar pulls each feature in one batched column scan and
 // builds the kernel cache from column-at-a-time match counts in parallel.
-func BenchmarkSVMFitColumnar(b *testing.B) { benchSVMFit(b, true) }
+func BenchmarkSVMFitColumnar(b *testing.B) { benchSVMFit(b, true, false) }
+
+// BenchmarkSVMFitErrorCache is the approximate-tier sibling of
+// BenchmarkSVMFitColumnar: identical data, engine, and hyper-parameters,
+// with Config.ErrorCache replacing the full f(i) recomputation per KKT check
+// by incremental E-vector maintenance and max-violating-pair selection.
+// Accuracy-gated (not bit-identical); benchgate holds it to ≥1.5× over the
+// Columnar default.
+func BenchmarkSVMFitErrorCache(b *testing.B) { benchSVMFit(b, true, true) }
 
 // benchANNFit measures one MLP Fit (mini-batch Adam) under per-example row
 // gathers vs the one-pass active-index materialization. Network sizes match
 // the EffortFast grid so the bench isolates data access against a realistic
 // arithmetic load.
-func benchANNFit(b *testing.B, columnar bool) {
+func benchANNFit(b *testing.B, columnar, fusedAdam bool) {
 	engine := core.EngineRow
 	if columnar {
 		engine = core.EngineColumnar
@@ -575,6 +584,7 @@ func benchANNFit(b *testing.B, columnar bool) {
 		Epochs:       10,
 		Seed:         7,
 		RowAtATime:   !columnar,
+		FusedAdam:    fusedAdam,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -588,11 +598,18 @@ func benchANNFit(b *testing.B, columnar bool) {
 
 // BenchmarkANNFitRowAtATime is the historical epoch loop: one row gather per
 // example per epoch.
-func BenchmarkANNFitRowAtATime(b *testing.B) { benchANNFit(b, false) }
+func BenchmarkANNFitRowAtATime(b *testing.B) { benchANNFit(b, false, false) }
 
 // BenchmarkANNFitColumnar feeds the sparse input layer from the one-pass
 // active-index matrix.
-func BenchmarkANNFitColumnar(b *testing.B) { benchANNFit(b, true) }
+func BenchmarkANNFitColumnar(b *testing.B) { benchANNFit(b, true, false) }
+
+// BenchmarkANNFitFusedAdam is the approximate-tier sibling of
+// BenchmarkANNFitColumnar: identical data, engine, and hyper-parameters,
+// with Config.FusedAdam replacing the sparse per-row Adam chains by one
+// fused mat.AdamStep pass per contiguous slab. Accuracy-gated (not
+// bit-identical); benchgate holds it to ≥1.5× over the Columnar default.
+func BenchmarkANNFitFusedAdam(b *testing.B) { benchANNFit(b, true, true) }
 
 // benchKernelCache measures one n×n SVM Gram-matrix build at the SVMFit
 // bench scale — the dominant arithmetic of a capped SMO fit — as the per-pair

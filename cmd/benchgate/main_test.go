@@ -18,10 +18,13 @@ BenchmarkServeFactorized-8    	     100	      500 ns/op	    0 B/op	 0 allocs/op
 PASS
 `
 
-// segPairLines satisfies the zone-map and segmented-parity groups the
-// default gate includes: zone skips clear 1.5x, the parity pairs sit at 1.0
-// (enough for the group's @0.95 bar).
+// segPairLines satisfies the zone-map, segmented-parity, and approximate-tier
+// groups the default gate includes: zone skips clear 1.5x, the parity pairs
+// sit at 1.0 (enough for the group's @0.95 bar), and the error-cache SMO /
+// fused-Adam kernels beat their exact columnar siblings at 2.5x.
 const segPairLines = `
+BenchmarkSVMFitErrorCache      	      10	   400000 ns/op
+BenchmarkANNFitFusedAdam       	      10	   400000 ns/op
 BenchmarkSelectEqSegFullScan   	      10	  2000000 ns/op
 BenchmarkSelectEqSegZoneSkip   	      10	   100000 ns/op
 BenchmarkTreeSplitZoneFullSearch	      10	  2000000 ns/op

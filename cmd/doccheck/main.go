@@ -1,0 +1,143 @@
+// Command doccheck lints the repo's Markdown documentation so the docs CI
+// job can fail on the two rot modes prose actually suffers: relative links
+// pointing at files that moved or were deleted, and Go code fences that
+// drifted out of gofmt shape (or stopped compiling as a file at all).
+//
+// Usage:
+//
+//	doccheck README.md ARCHITECTURE.md cmd/benchgate/README.md
+//
+// Each argument is a Markdown file. For every [text](target) link the tool
+// skips absolute URLs (http, https, mailto) and pure in-page anchors
+// (#section), strips any #fragment from what remains, and requires the
+// referenced path to exist relative to the Markdown file's directory.
+// Every ```go fence whose first code line starts with "package" is treated
+// as a complete Go file and must be gofmt-clean; fragment fences (no
+// package clause) are left alone, since gofmt cannot judge an excerpt.
+//
+// The tool prints one line per violation and exits 1 if any were found.
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links. The target group deliberately
+// excludes whitespace and closing parens: doc links here are plain relative
+// paths or URLs, never titles-in-quotes or nested parens.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <file.md> [file.md ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			bad++
+			continue
+		}
+		for _, v := range checkDoc(path, string(src)) {
+			fmt.Fprintln(os.Stderr, v)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDoc returns one human-readable violation string per broken link or
+// unformatted complete-file Go fence in the document.
+func checkDoc(path, src string) []string {
+	var out []string
+	out = append(out, checkLinks(path, src)...)
+	out = append(out, checkGoFences(path, src)...)
+	return out
+}
+
+func checkLinks(path, src string) []string {
+	dir := filepath.Dir(path)
+	var out []string
+	inFence := false
+	for lineNo, line := range strings.Split(src, "\n") {
+		// Links inside code fences are example syntax, not references.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q", path, lineNo+1, m[1]))
+			}
+		}
+	}
+	return out
+}
+
+func checkGoFences(path, src string) []string {
+	var out []string
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		end := start
+		for end < len(lines) && strings.TrimSpace(lines[end]) != "```" {
+			end++
+		}
+		fence := strings.Join(lines[start:end], "\n")
+		i = end
+		if !isCompleteFile(fence) {
+			continue
+		}
+		formatted, err := format.Source([]byte(fence + "\n"))
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s:%d: go fence does not parse: %v", path, start, err))
+			continue
+		}
+		if string(formatted) != fence+"\n" {
+			out = append(out, fmt.Sprintf("%s:%d: go fence is not gofmt-formatted", path, start))
+		}
+	}
+	return out
+}
+
+// isCompleteFile reports whether a fence is a whole Go file (and so fair
+// game for gofmt) rather than an excerpt.
+func isCompleteFile(fence string) bool {
+	for _, line := range strings.Split(fence, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		return strings.HasPrefix(t, "package ")
+	}
+	return false
+}

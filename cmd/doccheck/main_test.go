@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Join([]string{
+		"[ok](exists.md) and [anchored](exists.md#section)",
+		"[web](https://example.com/x) [mail](mailto:a@b.c) [inpage](#here)",
+		"[gone](missing.md)",
+		"```",
+		"[not a link check](also_missing.md)",
+		"```",
+	}, "\n")
+	got := checkDoc(filepath.Join(dir, "doc.md"), doc)
+	if len(got) != 1 || !strings.Contains(got[0], `broken link "missing.md"`) {
+		t.Fatalf("violations = %q, want one broken link for missing.md", got)
+	}
+}
+
+func TestCheckGoFences(t *testing.T) {
+	clean := "```go\npackage main\n\nfunc main() {}\n```\n"
+	if got := checkDoc("doc.md", clean); len(got) != 0 {
+		t.Fatalf("gofmt-clean fence flagged: %q", got)
+	}
+	unformatted := "```go\npackage main\n\nfunc  main( ) {}\n```\n"
+	got := checkDoc("doc.md", unformatted)
+	if len(got) != 1 || !strings.Contains(got[0], "not gofmt-formatted") {
+		t.Fatalf("violations = %q, want gofmt complaint", got)
+	}
+	broken := "```go\npackage main\n\nfunc main( {\n```\n"
+	got = checkDoc("doc.md", broken)
+	if len(got) != 1 || !strings.Contains(got[0], "does not parse") {
+		t.Fatalf("violations = %q, want parse complaint", got)
+	}
+	// Excerpt fences (no package clause) are not gofmt's business.
+	fragment := "```go\nif err != nil {\n\treturn err\n}\n```\n"
+	if got := checkDoc("doc.md", fragment); len(got) != 0 {
+		t.Fatalf("fragment fence flagged: %q", got)
+	}
+}

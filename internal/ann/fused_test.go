@@ -1,0 +1,125 @@
+package ann
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+func fusedCfg(seed uint64) Config {
+	c := smallCfg(seed)
+	c.FusedAdam = true
+	return c
+}
+
+// TestFusedAdamLearnsSignal holds the fused dense-Adam path to the same
+// learning bar as the default optimizer on a separable problem.
+func TestFusedAdamLearnsSignal(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2, 3)}
+	r := rng.New(2)
+	for i := 0; i < 400; i++ {
+		x0 := relational.Value(r.Intn(2))
+		ds.X = append(ds.X, x0, relational.Value(r.Intn(3)))
+		ds.Y = append(ds.Y, int8(x0))
+	}
+	m := New(fusedCfg(3))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(m, ds); acc < 0.99 {
+		t.Fatalf("separable accuracy %v, want ~1", acc)
+	}
+}
+
+// TestFusedAdamLearnsXOR checks the fused path still trains through both
+// hidden layers (XOR needs the nonlinearity, not just the input embedding).
+func TestFusedAdamLearnsXOR(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2, 2)}
+	pts := [][]relational.Value{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for rep := 0; rep < 50; rep++ {
+		for _, p := range pts {
+			ds.X = append(ds.X, p...)
+			ds.Y = append(ds.Y, int8(p[0]^p[1]))
+		}
+	}
+	m := New(fusedCfg(4))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(m, ds); acc < 0.99 {
+		t.Fatalf("XOR accuracy %v, want ~1", acc)
+	}
+}
+
+// TestFusedAdamDivergesFromReference pins that the flag actually changes
+// the optimizer: with L2 active, dense Adam decays embedding rows the
+// sparse reference leaves untouched, so some fitted parameter must differ.
+// (A refactor that silently routed FusedAdam back through the sparse chains
+// would pass every accuracy test; this catches it.)
+func TestFusedAdamDivergesFromReference(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2, 3)}
+	r := rng.New(6)
+	for i := 0; i < 200; i++ {
+		x0 := relational.Value(r.Intn(2))
+		ds.X = append(ds.X, x0, relational.Value(r.Intn(3)))
+		ds.Y = append(ds.Y, int8(x0))
+	}
+	cfg := smallCfg(7)
+	cfg.L2 = 1e-2
+	ref := New(cfg)
+	if err := ref.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	cfg.FusedAdam = true
+	fused := New(cfg)
+	if err := fused.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ref.ExportParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := fused.ExportParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rp.W1 {
+		if rp.W1[i] != fp.W1[i] {
+			return
+		}
+	}
+	t.Fatal("fused Adam produced bit-identical w1; the dense path is not being exercised")
+}
+
+// TestFusedAdamBatchPredictConsistency keeps the slab-backed parameters
+// compatible with the batched scorer: PredictBatch must agree with
+// per-example Predict on a fused-trained model.
+func TestFusedAdamBatchPredictConsistency(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(3, 2, 4)}
+	r := rng.New(9)
+	for i := 0; i < 300; i++ {
+		x0 := relational.Value(r.Intn(3))
+		ds.X = append(ds.X, x0, relational.Value(r.Intn(2)), relational.Value(r.Intn(4)))
+		ds.Y = append(ds.Y, int8(boolToInt(x0 > 0)))
+	}
+	m := New(fusedCfg(10))
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(ds)
+	buf := make([]relational.Value, ds.NumFeatures())
+	for i := 0; i < ds.NumExamples(); i++ {
+		if one := m.Predict(ds.RowInto(buf, i)); one != batch[i] {
+			t.Fatalf("example %d: Predict=%d PredictBatch=%d", i, one, batch[i])
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

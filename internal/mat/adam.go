@@ -1,0 +1,35 @@
+package mat
+
+import "math"
+
+// AdamStep applies one bias-corrected Adam update in a single fused pass over
+// contiguous parameter, gradient, and moment slabs:
+//
+//	gi   = g[i] + l2·w[i]
+//	m[i] = beta1·m[i] + (1−beta1)·gi
+//	v[i] = beta2·v[i] + (1−beta2)·gi²
+//	w[i] −= lr · (m[i]/c1) / (√(v[i]/c2) + eps)
+//
+// where c1 = 1−beta1^t and c2 = 1−beta2^t are the caller's bias-correction
+// terms for step t (hoisted: the kernel never calls math.Pow). The gradient
+// slab is cleared as it is consumed, so the caller's next accumulation pass
+// starts from zero without a separate memclr over the slab.
+//
+// All four slabs must have identical length. One parameter's update reads
+// and writes only its own index, so the per-element arithmetic is exactly
+// the scalar update loop's — fusing buys the single pass over contiguous
+// memory, not a reassociation.
+func AdamStep(w, g, m, v []float64, lr, l2, beta1, beta2, eps, c1, c2 float64) {
+	_ = g[len(w)-1] // bounds-check hoist
+	_ = m[len(w)-1]
+	_ = v[len(w)-1]
+	for i := range w {
+		gi := g[i] + l2*w[i]
+		g[i] = 0
+		mi := beta1*m[i] + (1-beta1)*gi
+		vi := beta2*v[i] + (1-beta2)*gi*gi
+		m[i] = mi
+		v[i] = vi
+		w[i] -= lr * (mi / c1) / (math.Sqrt(vi/c2) + eps)
+	}
+}

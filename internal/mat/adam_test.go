@@ -1,0 +1,60 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// naiveAdam is the historical per-block update loop the fused kernel
+// replaces (ann.applyAdam's update closure), kept verbatim as the
+// bit-identity reference.
+func naiveAdam(w, g, m, v []float64, lr, l2, beta1, beta2, eps, c1, c2 float64) {
+	for i := range w {
+		gi := g[i] + l2*w[i]
+		m[i] = beta1*m[i] + (1-beta1)*gi
+		v[i] = beta2*v[i] + (1-beta2)*gi*gi
+		w[i] -= lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
+	}
+}
+
+// TestAdamStepMatchesNaive pins the fused kernel bit-identical to the scalar
+// reference across several steps (moments accumulate, so drift would
+// compound and be caught) and checks the gradient slab is cleared.
+func TestAdamStepMatchesNaive(t *testing.T) {
+	const n = 257
+	r := rng.New(5)
+	wa := make([]float64, n)
+	ma := make([]float64, n)
+	va := make([]float64, n)
+	wb := make([]float64, n)
+	mb := make([]float64, n)
+	vb := make([]float64, n)
+	ga := make([]float64, n)
+	gb := make([]float64, n)
+	for i := range wa {
+		wa[i] = r.NormFloat64()
+		wb[i] = wa[i]
+	}
+	const lr, l2, beta1, beta2, eps = 1e-2, 1e-3, 0.9, 0.999, 1e-8
+	for step := 1; step <= 5; step++ {
+		for i := range ga {
+			ga[i] = r.NormFloat64()
+			gb[i] = ga[i]
+		}
+		c1 := 1 - math.Pow(beta1, float64(step))
+		c2 := 1 - math.Pow(beta2, float64(step))
+		naiveAdam(wa, ga, ma, va, lr, l2, beta1, beta2, eps, c1, c2)
+		AdamStep(wb, gb, mb, vb, lr, l2, beta1, beta2, eps, c1, c2)
+		for i := range wa {
+			if wa[i] != wb[i] || ma[i] != mb[i] || va[i] != vb[i] {
+				t.Fatalf("step %d index %d: fused (w=%v m=%v v=%v) != naive (w=%v m=%v v=%v)",
+					step, i, wb[i], mb[i], vb[i], wa[i], ma[i], va[i])
+			}
+			if gb[i] != 0 {
+				t.Fatalf("step %d index %d: gradient not cleared: %v", step, i, gb[i])
+			}
+		}
+	}
+}

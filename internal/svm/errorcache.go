@@ -1,0 +1,209 @@
+package svm
+
+import (
+	"math"
+
+	"repro/internal/relational"
+)
+
+// smoErrorCache is the approximate SMO loop behind Config.ErrorCache.
+//
+// The exact loop pays a full f(i) = Σ_j α_j y_j k(i,j) + b fold for every
+// KKT check — the dominant cost of a capped fit once the Gram cache is
+// built. Here the prediction errors E[i] = f(i) − y[i] are state: α = 0 and
+// b = 0 give E[i] = −y[i] up front, and each successful α step updates the
+// whole vector incrementally from the two kernel rows it read anyway,
+//
+//	E[t] += Δ(α_i y_i)·k(i,t) + Δ(α_j y_j)·k(j,t) + Δb,
+//
+// so a KKT check is one slice read instead of an O(n·active) fold.
+//
+// With E cached, working-set selection upgrades from simplified SMO's
+// random second choice to the maximal violating pair (Keerthi et al.'s
+// b_up/b_low rule): i is the largest error over I_low = {α_i < C, y_i = −1}
+// ∪ {α_i > 0, y_i = +1}, j the smallest over I_up = {α_i < C, y_i = +1} ∪
+// {α_i > 0, y_i = −1}, and the loop stops when the violation gap
+// max_low E − min_up E drops to 2·tol — a duality-gap criterion, where the
+// exact loop counts quiet full passes.
+//
+// Two deliberate approximations keep this fast, and are why the result is
+// accuracy-gated rather than bit-identical: the trajectory visits a
+// different pair sequence than the reference, and E accumulates float32
+// kernel terms incrementally instead of being recomputed from α, so it
+// carries rounding drift of its own. Both effects move the fitted
+// multipliers, not the learned decision quality — core.VerifyAccuracy holds
+// the held-out delta inside tolerance.
+//
+// kcache is the n×n Gram cache when present; otherwise kernel rows are
+// recomputed into scratch on demand (two rows per step, same as the cost
+// the exact loop pays per update attempt at that scale).
+//
+// When the maximal pair cannot progress (identical rows drive eta to 0, or
+// the box clips the step), the loop tries i against every other violating j
+// before excluding i from selection; exclusions reset on the next
+// successful step, and if every candidate i is excluded the loop declares
+// convergence. Each iteration therefore either moves an α pair or shrinks
+// the candidate set, so termination needs no pass counting; maxIter stays
+// as the safety valve.
+func smoErrorCache(n int, y, alpha []float64, C, tol float64, maxIter int, kcache []float32, k *Kernel, rows [][]relational.Value) float64 {
+	E := make([]float64, n)
+	for i := range E {
+		E[i] = -y[i]
+	}
+	b := 0.0
+
+	var scratchI, scratchJ []float32
+	if kcache == nil {
+		scratchI = make([]float32, n)
+		scratchJ = make([]float32, n)
+	}
+	krow := func(i int, scratch []float32) []float32 {
+		if kcache != nil {
+			return kcache[i*n : (i+1)*n]
+		}
+		for j := range scratch {
+			if j == i {
+				scratch[j] = float32(k.Self())
+			} else {
+				scratch[j] = float32(k.Eval(rows[i], rows[j]))
+			}
+		}
+		return scratch
+	}
+
+	// step optimizes the pair (i, j) analytically; it reports false when
+	// the box or curvature admits no move, leaving all state untouched.
+	step := func(i, j int) bool {
+		Ei, Ej := E[i], E[j]
+		ai, aj := alpha[i], alpha[j]
+		var L, H float64
+		if y[i] != y[j] {
+			L = max(0, aj-ai)
+			H = min(C, C+aj-ai)
+		} else {
+			L = max(0, ai+aj-C)
+			H = min(C, ai+aj)
+		}
+		if L == H {
+			return false
+		}
+		rowI := krow(i, scratchI)
+		kii := float64(rowI[i])
+		kij := float64(rowI[j])
+		rowJ := krow(j, scratchJ)
+		kjj := float64(rowJ[j])
+		// Curvature along the pair direction. Categorical data is full of
+		// duplicate rows, and a duplicate pair has k(i,j) = k(i,i) so quad
+		// collapses to 0; flooring it (libsvm's TAU) turns the analytic
+		// step into a huge one the box clip resolves, letting the pair make
+		// bound-to-bound progress instead of stalling. The exact loop
+		// rejects such pairs and draws a fresh random partner — one more
+		// trajectory difference the accuracy gate absorbs.
+		quad := kii + kjj - 2*kij
+		if quad <= 0 {
+			quad = 1e-12
+		}
+		ajNew := aj + y[j]*(Ei-Ej)/quad
+		if ajNew > H {
+			ajNew = H
+		} else if ajNew < L {
+			ajNew = L
+		}
+		if math.Abs(ajNew-aj) < 1e-7 {
+			return false
+		}
+		aiNew := ai + y[i]*y[j]*(aj-ajNew)
+		// Snap to the box: a clipped partner lands within rounding of a
+		// bound (aiNew is derived arithmetically, not clipped), and an α
+		// that is 1e-16 shy of C stays in the selection index sets forever,
+		// wedging the max-violating-pair rule on a step too small to take.
+		// libsvm does the same snap when reconstructing bound status.
+		if aiNew < 1e-8 {
+			aiNew = 0
+		} else if aiNew > C-1e-8 {
+			aiNew = C
+		}
+		if ajNew < 1e-8 {
+			ajNew = 0
+		} else if ajNew > C-1e-8 {
+			ajNew = C
+		}
+		b1 := b - Ei - y[i]*(aiNew-ai)*kii - y[j]*(ajNew-aj)*kij
+		b2 := b - Ej - y[i]*(aiNew-ai)*kij - y[j]*(ajNew-aj)*kjj
+		var bNew float64
+		switch {
+		case aiNew > 0 && aiNew < C:
+			bNew = b1
+		case ajNew > 0 && ajNew < C:
+			bNew = b2
+		default:
+			bNew = (b1 + b2) / 2
+		}
+		dai := (aiNew - ai) * y[i]
+		daj := (ajNew - aj) * y[j]
+		db := bNew - b
+		alpha[i], alpha[j] = aiNew, ajNew
+		b = bNew
+		for t := 0; t < n; t++ {
+			E[t] += dai*float64(rowI[t]) + daj*float64(rowJ[t]) + db
+		}
+		return true
+	}
+
+	excl := make([]bool, n)
+	anyExcl := false
+	for iter := 0; iter < maxIter; iter++ {
+		// Maximal violating pair over the cached errors.
+		up, lo := -1, -1
+		minUpE := math.Inf(1)
+		maxLoE := math.Inf(-1)
+		for t := 0; t < n; t++ {
+			if (y[t] > 0 && alpha[t] < C) || (y[t] < 0 && alpha[t] > 0) {
+				if E[t] < minUpE {
+					minUpE, up = E[t], t
+				}
+			}
+			if excl[t] {
+				continue
+			}
+			if (y[t] < 0 && alpha[t] < C) || (y[t] > 0 && alpha[t] > 0) {
+				if E[t] > maxLoE {
+					maxLoE, lo = E[t], t
+				}
+			}
+		}
+		if up < 0 || lo < 0 || maxLoE-minUpE <= 2*tol {
+			break
+		}
+		if step(lo, up) {
+			if anyExcl {
+				clear(excl)
+				anyExcl = false
+			}
+			continue
+		}
+		// The maximal pair is stuck; try lo against the remaining violating
+		// partners before writing it off.
+		progressed := false
+		for t := 0; t < n && !progressed; t++ {
+			if t == up {
+				continue
+			}
+			if (y[t] > 0 && alpha[t] < C) || (y[t] < 0 && alpha[t] > 0) {
+				if maxLoE-E[t] > 2*tol && step(lo, t) {
+					progressed = true
+				}
+			}
+		}
+		if progressed {
+			if anyExcl {
+				clear(excl)
+				anyExcl = false
+			}
+			continue
+		}
+		excl[lo] = true
+		anyExcl = true
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/relational"
+	"repro/internal/rng"
+)
+
+// noisyDataset builds a mostly-separable two-feature set: feature 0 carries
+// the label with flip-noise, feature 1 is irrelevant. Duplicated rows are
+// guaranteed (tiny domains, many examples), so the error-cache loop's
+// zero-curvature handling is exercised, not just its happy path.
+func noisyDataset(n int, seed uint64) *ml.Dataset {
+	ds := &ml.Dataset{Features: feats(2, 4)}
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		x0 := relational.Value(r.Intn(2))
+		y := int8(x0)
+		if r.Float64() < 0.1 {
+			y = 1 - y
+		}
+		ds.X = append(ds.X, x0, relational.Value(r.Intn(4)))
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func fitPair(t *testing.T, ds *ml.Dataset, mutate func(*Config)) (exact, approx *SVM) {
+	t.Helper()
+	cfg := Config{Kernel: RBF, C: 10, Gamma: 0.5, Seed: 11}
+	mutate(&cfg)
+	var err error
+	if exact, err = New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err = exact.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ErrorCache = true
+	if approx, err = New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err = approx.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	return exact, approx
+}
+
+// TestErrorCacheMatchesExactQuality holds the approximate loop to the exact
+// loop's training quality on noisy, duplicate-heavy data — the same
+// equivalence the full accuracy gate enforces on the real datasets, at unit
+// scale.
+func TestErrorCacheMatchesExactQuality(t *testing.T) {
+	ds := noisyDataset(400, 3)
+	exact, approx := fitPair(t, ds, func(*Config) {})
+	accExact := ml.Accuracy(exact, ds)
+	accApprox := ml.Accuracy(approx, ds)
+	if accExact < 0.85 {
+		t.Fatalf("exact reference underfits: %v", accExact)
+	}
+	if diff := accExact - accApprox; diff > 0.03 || diff < -0.03 {
+		t.Fatalf("accuracy diverged: exact %v vs error-cache %v", accExact, accApprox)
+	}
+	if approx.NumSupportVectors() == 0 {
+		t.Fatal("error-cache fit retained no support vectors")
+	}
+}
+
+// TestErrorCacheWithoutGramCache forces the on-demand kernel-row branch by
+// dropping the cache threshold below n.
+func TestErrorCacheWithoutGramCache(t *testing.T) {
+	old := gramCacheCap
+	gramCacheCap = 8
+	defer func() { gramCacheCap = old }()
+
+	ds := noisyDataset(200, 5)
+	exact, approx := fitPair(t, ds, func(*Config) {})
+	accExact := ml.Accuracy(exact, ds)
+	accApprox := ml.Accuracy(approx, ds)
+	if diff := accExact - accApprox; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("cacheless accuracy diverged: exact %v vs error-cache %v", accExact, accApprox)
+	}
+}
+
+// TestErrorCacheDegenerateSingleClass keeps the constant-decision shortcut
+// intact under the flag.
+func TestErrorCacheDegenerateSingleClass(t *testing.T) {
+	ds := &ml.Dataset{Features: feats(2)}
+	for i := 0; i < 8; i++ {
+		ds.X = append(ds.X, relational.Value(i%2))
+		ds.Y = append(ds.Y, 1)
+	}
+	m, err := New(Config{Kernel: Linear, C: 1, ErrorCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]relational.Value{0, 0}); got != 1 {
+		t.Fatalf("single-class fit predicts %d, want 1", got)
+	}
+}
+
+// TestErrorCacheRespectsMaxIter pins the safety valve: a one-iteration
+// budget must terminate immediately and still produce a usable model.
+func TestErrorCacheRespectsMaxIter(t *testing.T) {
+	ds := noisyDataset(100, 7)
+	m, err := New(Config{Kernel: RBF, C: 10, Gamma: 0.5, MaxIter: 1, ErrorCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// One pair step moves exactly two multipliers.
+	if sv := m.NumSupportVectors(); sv > 2 {
+		t.Fatalf("MaxIter=1 retained %d support vectors, want ≤2", sv)
+	}
+}

@@ -40,7 +40,25 @@ type Config struct {
 	// paths produce bit-identical models — the flag exists for A/B
 	// benchmarks and equivalence tests.
 	RowAtATime bool
+	// ErrorCache selects the approximate SMO loop: the prediction-error
+	// vector E[i] = f(i) − y[i] is maintained incrementally across α steps
+	// (two kernel rows plus the bias delta per successful update) and each
+	// iteration optimizes the maximal violating pair chosen over the cached
+	// errors (Keerthi's b_up/b_low selection), replacing the default loop's
+	// full f(i) recomputation per KKT check and randomized second choice.
+	// The optimization visits a different sequence of pairs and stops on a
+	// duality-gap criterion, so the fitted multipliers diverge from the
+	// bit-identical default; the path is gated by the accuracy-level
+	// equivalence harness (core.VerifyAccuracy), not bit-equality. Default
+	// off.
+	ErrorCache bool
 }
+
+// gramCacheCap bounds the training-set size for which Fit materializes the
+// full n×n Gram cache (n² float32 ≈ 64 MiB at the cap); beyond it both SMO
+// loops fall back to on-demand kernel evaluation. A variable so tests can
+// exercise the cacheless branches at small n.
+var gramCacheCap = 4096
 
 // SVM is a kernel support vector classifier. Construct with New, then Fit.
 type SVM struct {
@@ -158,7 +176,7 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 	// GramBlocked documents why it is bit-identical to the per-pair
 	// GramRows build the historical path keeps.
 	var kcache []float32
-	cacheOK := n <= 4096
+	cacheOK := n <= gramCacheCap
 	if cacheOK {
 		kcache = make([]float32, n*n)
 		t0 := time.Now()
@@ -220,6 +238,17 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 			}
 		}
 		return sum + b
+	}
+
+	if s.cfg.ErrorCache {
+		// Approximate tier: incremental-E working-set loop (errorcache.go).
+		// One smoPassSpan observation covers the whole optimization — the
+		// loop has no full-sweep passes to time individually.
+		t0 := time.Now()
+		b = smoErrorCache(n, y, alpha, C, tol, maxIter, kcache, k, rows)
+		smoPassSpan.ObserveSince(t0)
+		s.retainSupport(rows, alpha, y, b)
+		return nil
 	}
 
 	passes, iter := 0, 0
@@ -288,17 +317,22 @@ func (s *SVM) Fit(train *ml.Dataset) error {
 		}
 	}
 
-	// Retain support vectors.
+	s.retainSupport(rows, alpha, y, b)
+	return nil
+}
+
+// retainSupport keeps the rows with nonzero multipliers as the fitted
+// support set; both the exact and the error-cache loops end here.
+func (s *SVM) retainSupport(rows [][]relational.Value, alpha, y []float64, b float64) {
 	s.svRows = s.svRows[:0]
 	s.svAlphaY = s.svAlphaY[:0]
-	for i := 0; i < n; i++ {
+	for i := range rows {
 		if alpha[i] > 0 {
 			s.svRows = append(s.svRows, rows[i])
 			s.svAlphaY = append(s.svAlphaY, alpha[i]*y[i])
 		}
 	}
 	s.b = b
-	return nil
 }
 
 // Decision returns the signed decision value Σ αᵢyᵢ k(xᵢ, x) + b.
