@@ -11,8 +11,9 @@ SHELL := /bin/bash
 # row-vs-columnar learner pairs, the serving paths, the GEMM-vs-scalar
 # compute-kernel pairs (SVM Gram build, batched ANN serving), the zone-map
 # skip pairs, the segmented-vs-slab parity pairs, and the concurrent-serving
-# trio (uncoalesced vs coalesced vs factorized-linear under 64 clients).
-BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|SVMFitErrorCache|ANNFitFusedAdam|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented|ServeConcurrent(Scalar|Coalesced|Factorized))$$
+# quartet (uncoalesced vs coalesced vs factorized-linear vs the hardened
+# entry — admission gate + panic recovery — under 64 clients).
+BENCH_REGEX = Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|SVMFitErrorCache|ANNFitFusedAdam|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented|ServeConcurrent(Scalar|Coalesced|Factorized|Hardened))$$
 # Time-based benchtime so every bench accumulates several iterations per
 # sample — the nanosecond-scale Serve* benches get millions, the ~100ms Fit
 # benches get a handful — and -count 5 gives benchgate a median that shrugs

@@ -937,6 +937,35 @@ func BenchmarkServeConcurrentFactorized(b *testing.B) {
 	})
 }
 
+// BenchmarkServeConcurrentHardened is the Factorized bench re-run through
+// the hardened in-process entry: the same slot path plus the bounded
+// admission gate and panic-to-error recovery every production request pays.
+// The gate pins it at 0 allocs/op too — hardening the serving path must not
+// cost the zero-alloc contract.
+func BenchmarkServeConcurrentHardened(b *testing.B) {
+	engine, reqs := benchServeEngine(b)
+	reg := serve.NewRegistry(serve.DefaultCoalescerConfig())
+	slot, err := reg.Register("m", engine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.NewRegistryServer(reg, serve.ServerConfig{MaxInflight: 4 * serveConcurrency})
+	var ctr atomic.Int64
+	setServeParallelism(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(ctr.Add(1)) * 31
+		for pb.Next() {
+			if _, err := srv.Predict(slot, reqs[i%len(reqs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // --- Segmented-engine benchmarks: zone-map skipping + segment morsels. ---
 
 // segBenchTable builds a segmented fact table whose "band" column is

@@ -42,7 +42,7 @@ import (
 // factorized serving path, the GEMM-vs-scalar kernel pairs (SVM Gram build,
 // batch serving), the zone-map skip pairs, and the segmented-vs-slab parity
 // pairs.
-const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|SVMFitErrorCache|ANNFitFusedAdam|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented|ServeConcurrent(Scalar|Coalesced|Factorized))$`
+const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegFit|SVMFit|ANNFit)(RowAtATime|Columnar)|SVMFitErrorCache|ANNFitFusedAdam|Serve(Factorized|Joined)|SVMKernelCache(Scalar|Gemm)|ServeBatch(Scalar|Gemm)|SelectEqSeg(FullScan|ZoneSkip)|TreeSplitZone(FullSearch|Skip)|SegParScan(Slab|Seg)|(NBFit|TreeSplit)Segmented|ServeConcurrent(Scalar|Coalesced|Factorized|Hardened))$`
 
 // defaultPairs is the speedup requirement: the first group keeps the PR 4
 // storage-engine bar (some iterative learner ≥ min-speedup columnar vs row),
@@ -60,11 +60,13 @@ const defaultGate = `^Benchmark(Join(Materialized|View)|(NBFit|TreeSplit|LogRegF
 const defaultPairs = `LogRegFit,SVMFit,ANNFit;SVMFit,ANNFit,SVMKernelCache/Scalar/Gemm;SelectEqSeg/FullScan/ZoneSkip,TreeSplitZone/FullSearch/Skip;SegParScan/Slab/Seg,NBFit/Columnar/Segmented,TreeSplit/Columnar/Segmented@0.95;ServeConcurrent/Scalar/Coalesced@2.0;SVMFit/Columnar/ErrorCache;ANNFit/Columnar/FusedAdam`
 
 // defaultZeroAlloc names the benchmarks whose steady state must allocate
-// nothing: the factorized-linear serving path end to end, and the coalesced
+// nothing: the factorized-linear serving path end to end, the coalesced
 // path's per-request amortized count (its per-batch setup divides below one
-// allocation per request). A matched benchmark lacking an allocs/op sample
-// fails the gate — the bench run must use -benchmem.
-const defaultZeroAlloc = `^BenchmarkServeConcurrent(Coalesced|Factorized)$`
+// allocation per request), and the hardened in-process entry (admission
+// gate + panic recovery on top of the factorized path). A matched benchmark
+// lacking an allocs/op sample fails the gate — the bench run must use
+// -benchmem.
+const defaultZeroAlloc = `^BenchmarkServeConcurrent(Coalesced|Factorized|Hardened)$`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {

@@ -25,6 +25,20 @@
 //
 //	hamlet -modeldiff other.bin -model m.bin
 //
+// -fsck walks every segment heap file in a spill directory offline and
+// verifies magic, format version, payload length, CRC32C, and column
+// structure — the same checks the pager runs on every fault-in — exiting
+// non-zero on any corruption or orphaned temp file:
+//
+//	hamlet -fsck /tmp/spill
+//
+// -faults injects deterministic I/O faults (short reads, torn writes,
+// ENOSPC, EIO, latency) into the segmented engine's spill path, for chaos
+// testing that training either fails with a typed error or produces a
+// bit-identical artifact — never silently wrong bytes:
+//
+//	hamlet -train ... -engine seg -spilldir d -faults "read:eio:nth=40"
+//
 // -verify runs a named verification tier. The only tier today is
 // "accuracy": every registered approximate training kernel (error-cache
 // SMO, fused Adam) trains against its bit-exact reference across the
@@ -52,6 +66,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/relational"
@@ -79,6 +94,8 @@ func run(args []string) error {
 	spillDir := fs.String("spilldir", "", "segmented engine: spill sealed segments to a heap file in this directory (out-of-core)")
 	cacheBytes := fs.Int64("cachebytes", 0, "segmented engine: LRU cache budget in bytes for resident spilled segments (0 = never evict)")
 	modelDiff := fs.String("modeldiff", "", "compare the -model artifact against this artifact ignoring metadata; exit nonzero when payloads differ")
+	fsckDir := fs.String("fsck", "", "verify every segment heap file in this spill directory (checksums, headers, orphaned temps) and exit nonzero on corruption")
+	faults := fs.String("faults", "", `inject I/O faults into the spill path, e.g. "read:eio:nth=40,write:enospc:every=9" (ops: open/read/write/sync/rename/close; kinds: eio/enospc/shortread/tornwrite/latency)`)
 	csvOut := fs.String("csv", "", "also export accuracy cells (tables 2/3/5/6) as CSV to this path")
 	jsonOut := fs.String("json", "", "also export accuracy cells as JSON to this path")
 	serving := fs.Bool("serving", false, "run the serving study: factorized vs per-request-join inference timings")
@@ -119,6 +136,20 @@ func run(args []string) error {
 		SpillDir:    *spillDir,
 		CacheBytes:  *cacheBytes,
 	}
+	if *faults != "" {
+		rules, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		inj := fault.NewInjector(fault.OS, int64(*seed), rules...)
+		core.SegmentDefaults.FS = inj
+		// The fired summary prints on every exit path — a chaos run that
+		// never tripped its faults proved nothing, and the summary is how
+		// the caller can tell.
+		defer func() {
+			fmt.Fprintf(o.Out, "fault injection: %s\n", inj.FiredString())
+		}()
+	}
 	if *timings {
 		core.EmbedTimings = true
 		defer printTimings(o.Out)
@@ -154,6 +185,9 @@ func run(args []string) error {
 			vscale = *scale
 		}
 		return runVerify(*verify, vscale, *seed, o.Out)
+	}
+	if *fsckDir != "" {
+		return runFsck(*fsckDir, o.Out)
 	}
 	if *modelDiff != "" {
 		return runModelDiff(*modelPath, *modelDiff, o)
@@ -250,6 +284,21 @@ func printTimings(w io.Writer) {
 		fmt.Fprintf(w, "  %-14s %12s  (%d calls, avg %s)\n",
 			name, time.Duration(t.Ns), t.Calls, time.Duration(t.Ns/t.Calls))
 	}
+}
+
+// runFsck verifies every segment heap file in dir and reports; any issue —
+// bad magic, version or CRC mismatch, truncated blob, undecodable columns,
+// orphaned temp file — makes the run exit non-zero.
+func runFsck(dir string, w io.Writer) error {
+	rep, err := relational.FsckDir(fault.OS, dir)
+	if err != nil {
+		return err
+	}
+	relational.WriteFsckReport(w, rep)
+	if !rep.OK() {
+		return fmt.Errorf("fsck: %d issue(s) in %s", len(rep.Issues), dir)
+	}
+	return nil
 }
 
 // runModelDiff compares two artifacts' payloads, ignoring metadata: the

@@ -69,6 +69,11 @@ type daemon struct {
 	handler http.Handler
 	addr    string
 	drain   time.Duration
+
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
 }
 
 // run binds the socket and serves until the context is cancelled, then
@@ -83,7 +88,17 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return fmt.Errorf("bind %s: %w", d.addr, err)
 	}
 	fmt.Fprintf(out, "hamletd listening on %s\n", ln.Addr())
-	hs := &http.Server{Handler: d.handler}
+	// Server-side timeouts are load-shedding, not politeness: without a
+	// ReadHeaderTimeout a slowloris client holds a connection (and its
+	// handler goroutine budget) forever, and without a WriteTimeout a dead
+	// reader pins response buffers. Defaults are set in build(), flag-tunable.
+	hs := &http.Server{
+		Handler:           d.handler,
+		ReadTimeout:       d.readTimeout,
+		ReadHeaderTimeout: d.readHeaderTimeout,
+		WriteTimeout:      d.writeTimeout,
+		IdleTimeout:       d.idleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -121,6 +136,18 @@ func build(args []string, out *os.File) (*daemon, error) {
 		"max request body bytes (oversized requests get 413)")
 	maxBatch := fs.Int("max-batch", serve.DefaultServerConfig().MaxBatchLen,
 		"max /predict_batch inputs per request (longer batches get 413)")
+	maxInflight := fs.Int("max-inflight", serve.DefaultMaxInflight,
+		"max concurrently admitted predict requests; excess sheds with 429 (-1 = unlimited)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second,
+		"max time to read a full request including body (0 = unlimited)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second,
+		"max time to read request headers — the slowloris guard (0 = read-timeout)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second,
+		"max time to write a response (0 = unlimited)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second,
+		"keep-alive idle connection timeout (0 = read-timeout)")
+	chaosPanicEvery := fs.Int("chaos-panic-every", 0,
+		"panic on every Nth predict request (chaos testing only; 0 = off)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -183,7 +210,15 @@ func build(args []string, out *os.File) (*daemon, error) {
 	}
 	fmt.Fprintf(out, "hamletd: serving %s (%s) on %s scale %d seed %d — %s, %d inputs, %d dimensions\n",
 		m.Kind, m.Fingerprint().Short(), name, sc, sd, mode, len(engine.InputFeatures()), engine.NumDimensions())
-	srv := serve.NewRegistryServer(reg, serve.ServerConfig{MaxBodyBytes: *maxBody, MaxBatchLen: *maxBatch})
+	srv := serve.NewRegistryServer(reg, serve.ServerConfig{
+		MaxBodyBytes:    *maxBody,
+		MaxBatchLen:     *maxBatch,
+		MaxInflight:     *maxInflight,
+		ChaosPanicEvery: *chaosPanicEvery,
+	})
+	if *chaosPanicEvery > 0 {
+		fmt.Fprintf(out, "hamletd: CHAOS MODE — panicking on every %d-th predict request\n", *chaosPanicEvery)
+	}
 	var handler http.Handler = srv.Handler()
 	if *pprofOn {
 		// The profiling surface is opt-in: a production scrape target should
@@ -200,5 +235,11 @@ func build(args []string, out *os.File) (*daemon, error) {
 		handler = mux
 		fmt.Fprintln(out, "hamletd: pprof enabled at /debug/pprof/")
 	}
-	return &daemon{srv: srv, handler: handler, addr: *addr, drain: *drain}, nil
+	return &daemon{
+		srv: srv, handler: handler, addr: *addr, drain: *drain,
+		readTimeout:       *readTimeout,
+		readHeaderTimeout: *readHeaderTimeout,
+		writeTimeout:      *writeTimeout,
+		idleTimeout:       *idleTimeout,
+	}, nil
 }

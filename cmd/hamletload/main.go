@@ -19,6 +19,15 @@
 // -min-rps sets a throughput floor: the run exits non-zero below it, which
 // is what lets CI gate serving regressions with a one-line smoke job.
 //
+// -retries N makes each worker retry a failed request up to N times —
+// transport errors, 429 (the daemon's admission gate shedding load), and 5xx
+// all qualify — with capped exponential backoff and full jitter, so a shed
+// burst spreads out instead of stampeding back in sync. The report counts
+// retries, shed responses, and splits 5xx into structured (the recovery
+// middleware's JSON error body) and unstructured; a chaos run against a
+// panicking daemon must report 0 unstructured 5xx, which is exactly what the
+// CI chaos-smoke job greps for.
+//
 // -scrape additionally snapshots GET /metrics before and after the measured
 // window and reports the server's own view of the run: every counter that
 // moved, and p50/p99/p999 recomputed from the /predict latency histogram's
@@ -41,6 +50,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -65,6 +75,7 @@ type config struct {
 	minRPS   float64
 	bodies   int
 	scrape   bool
+	retries  int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -80,6 +91,7 @@ func parseFlags(args []string) (config, error) {
 	minRPS := fs.Float64("min-rps", 0, "fail (exit 1) below this measured req/s")
 	bodies := fs.Int("bodies", 256, "distinct pre-encoded request bodies to cycle through")
 	scrape := fs.Bool("scrape", false, "snapshot /metrics around the run and report server-side counter deltas and latency quantiles")
+	retries := fs.Int("retries", 0, "max retries per request on 429/5xx/transport errors (capped exponential backoff with jitter)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -96,6 +108,7 @@ func parseFlags(args []string) (config, error) {
 		duration: *duration, warmup: *warmup,
 		conns: *conns, rate: *rate, seed: *seed,
 		minRPS: *minRPS, bodies: *bodies, scrape: *scrape,
+		retries: *retries,
 	}, nil
 }
 
@@ -342,18 +355,72 @@ func run(args []string, out io.Writer) error {
 		url += "?" + strings.Join(q, "&")
 	}
 
-	shoot := func(body []byte) (time.Duration, error) {
+	// Robustness accounting across all attempts (warmup included — an
+	// unstructured 5xx is a defect whenever it happens):
+	//   shed429      responses rejected by the daemon's admission gate
+	//   structured5  5xx with the recovery middleware's JSON error body
+	//   unstruct5    5xx without one — a panic that escaped the middleware
+	//   retried      attempts re-issued after a retryable failure
+	var shed429, structured5, unstruct5, retried atomic.Int64
+
+	// attempt fires one request. code 0 means a transport-level error.
+	attempt := func(body []byte) (lat time.Duration, code int, err error) {
 		start := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return time.Since(start), http.StatusOK, nil
+		}
+		// Error path: read the body to classify it. Structured errors are the
+		// server's fail() shape — a JSON object with a non-empty "error" key.
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("status %s", resp.Status)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed429.Add(1)
+		case resp.StatusCode >= 500:
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(rb, &e) == nil && e.Error != "" {
+				structured5.Add(1)
+			} else {
+				unstruct5.Add(1)
+			}
 		}
-		return time.Since(start), nil
+		return 0, resp.StatusCode, fmt.Errorf("status %s", resp.Status)
+	}
+
+	// shoot wraps attempt with up to cfg.retries re-issues on retryable
+	// failures: transport errors, 429 (shed — the server asked us to back
+	// off), and any 5xx. Backoff is capped exponential with full jitter
+	// (uniform in [0, min(2ms<<n, 200ms))): a shed burst de-synchronizes
+	// instead of returning as the same thundering herd that got it shed.
+	shoot := func(body []byte) (time.Duration, error) {
+		const (
+			backoffBase = 2 * time.Millisecond
+			backoffCap  = 200 * time.Millisecond
+		)
+		for att := 0; ; att++ {
+			lat, code, err := attempt(body)
+			if err == nil {
+				return lat, nil
+			}
+			retryable := code == 0 || code == http.StatusTooManyRequests || code >= 500
+			if !retryable || att >= cfg.retries {
+				return 0, err
+			}
+			retried.Add(1)
+			ceil := backoffBase << uint(att)
+			if ceil > backoffCap {
+				ceil = backoffCap
+			}
+			time.Sleep(time.Duration(rand.Int63n(int64(ceil))))
+		}
 	}
 
 	// Warmup: fill connection pools and JIT the serving path off the clock.
@@ -477,6 +544,10 @@ func run(args []string, out io.Writer) error {
 	if errs := after.Errors - before.Errors; errs > 0 {
 		fmt.Fprintf(out, "server: %d errored requests during run\n", errs)
 	}
+	if cfg.retries > 0 || shed429.Load()+structured5.Load()+unstruct5.Load() > 0 {
+		fmt.Fprintf(out, "robustness: %d retries, %d shed (429), %d structured 5xx, %d unstructured 5xx\n",
+			retried.Load(), shed429.Load(), structured5.Load(), unstruct5.Load())
+	}
 	if cfg.scrape {
 		mAfter, err := scrapeMetrics(client, cfg.base)
 		if err != nil {
@@ -489,6 +560,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.minRPS > 0 && rps < cfg.minRPS {
 		return fmt.Errorf("throughput %.1f req/s below floor %.1f", rps, cfg.minRPS)
+	}
+	if u := unstruct5.Load(); u > 0 {
+		// A 5xx without the structured JSON error body means a panic escaped
+		// the recovery middleware — always a server defect, so always fatal.
+		return fmt.Errorf("%d unstructured 5xx responses", u)
 	}
 	return nil
 }

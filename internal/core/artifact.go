@@ -66,7 +66,10 @@ func formatTimings(before, after map[string]obs.PhaseTotals) string {
 // evaluate on the holdout test split, and package the fitted classifier with
 // its feature schema and provenance metadata into a persistable model. The
 // extra metadata map is merged in (caller keys win on conflict).
-func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*model.Model, Result, error) {
+// A corrupt spilled segment read during training or evaluation surfaces as
+// a returned *relational.CorruptSegmentError.
+func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (m *model.Model, res Result, err error) {
+	defer recoverCorrupt(&err)
 	train, val, test, err := e.ViewSplits(ml.JoinAll, nil)
 	if err != nil {
 		return nil, Result{}, err
@@ -79,7 +82,7 @@ func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*mo
 	if err != nil {
 		return nil, Result{}, fmt.Errorf("core: %s: %w", spec.Name, err)
 	}
-	res := Result{
+	res = Result{
 		Model:     spec.Name,
 		View:      ml.JoinAll,
 		TestAcc:   ml.Accuracy(c, test),
@@ -102,7 +105,7 @@ func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*mo
 	for k, v := range extra {
 		meta[k] = v
 	}
-	m, err := model.New(c, train.Features, meta)
+	m, err = model.New(c, train.Features, meta)
 	if err != nil {
 		return nil, Result{}, err
 	}
@@ -112,7 +115,8 @@ func BuildArtifact(e *Env, spec Spec, seed uint64, extra map[string]string) (*mo
 // EvalArtifact scores a persisted model on the env's holdout test split
 // after verifying the feature schema fingerprint — the load half of the
 // pipeline. It returns the holdout test accuracy.
-func EvalArtifact(e *Env, m *model.Model) (float64, error) {
+func EvalArtifact(e *Env, m *model.Model) (acc float64, err error) {
+	defer recoverCorrupt(&err)
 	_, _, test, err := e.ViewSplits(ml.JoinAll, nil)
 	if err != nil {
 		return 0, err

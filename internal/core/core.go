@@ -20,10 +20,27 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ml"
 	"repro/internal/relational"
 	"repro/internal/rng"
 )
+
+// recoverCorrupt converts a *relational.CorruptSegmentError panic — the
+// storage layer's only way to report a bad segment read through the
+// error-less Relation interface — into a returned error at the training and
+// eval entry points. Any other panic is re-thrown untouched. ml.ParallelFor
+// re-delivers worker panics on the calling goroutine, so this one deferred
+// recover covers the morsel-parallel training paths too.
+func recoverCorrupt(errp *error) {
+	if r := recover(); r != nil {
+		if cse, ok := r.(*relational.CorruptSegmentError); ok {
+			*errp = cse
+			return
+		}
+		panic(r)
+	}
+}
 
 // Family groups classifiers by their observed robustness to avoiding joins.
 type Family int
@@ -181,6 +198,11 @@ type Env struct {
 	Joined    relational.Relation
 	TargetCol int
 	Split     relational.Split
+
+	// spillDir/fs are set by NewEnvSegmented when the out-of-core tier is
+	// active; Close sweeps the directory for orphaned heap files with them.
+	spillDir string
+	fs       fault.FS
 }
 
 // NewEnv prepares the experiment Env on the default storage engine
@@ -218,8 +240,10 @@ func NewEnvColumnar(ss *relational.StarSchema, seed uint64) (*Env, error) {
 // factorized join is evaluated once, segment-chunk-at-a-time, into a
 // relational.SegmentedTable configured by SegmentDefaults. With a spill
 // directory the env's joined relation lives mostly on disk; the caller owns
-// the table's lifetime (Env.Close releases the heap file).
-func NewEnvSegmented(ss *relational.StarSchema, seed uint64) (*Env, error) {
+// the table's lifetime (Env.Close releases the heap file and sweeps the
+// spill directory for orphans). A failure after the table exists closes it,
+// so no error path strands a heap file.
+func NewEnvSegmented(ss *relational.StarSchema, seed uint64) (env *Env, err error) {
 	jv, err := relational.NewJoinView(ss)
 	if err != nil {
 		return nil, err
@@ -228,7 +252,14 @@ func NewEnvSegmented(ss *relational.StarSchema, seed uint64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newEnvOver(ss, joined, seed)
+	env, err = newEnvOver(ss, joined, seed)
+	if err != nil {
+		joined.Close()
+		return nil, err
+	}
+	env.spillDir = SegmentDefaults.SpillDir
+	env.fs = SegmentDefaults.FS
+	return env, nil
 }
 
 // NewEnvEngine dispatches on the engine choice — the seam cmd/hamlet's
@@ -274,13 +305,25 @@ func newEnvOver(ss *relational.StarSchema, joined relational.Relation, seed uint
 }
 
 // Close releases resources the joined relation holds — the segmented
-// engine's spill heap file. Envs on the other engines need no Close and
-// treat it as a no-op. The env must not be read afterwards.
+// engine's spill heap file — and, when a spill directory is configured,
+// sweeps it for orphaned heap and temp files left by error-aborted or
+// crashed earlier runs. Envs on the other engines need no Close and treat
+// it as a no-op. The env must not be read afterwards.
 func (e *Env) Close() error {
+	var err error
 	if st, ok := e.Joined.(*relational.SegmentedTable); ok {
-		return st.Close()
+		err = st.Close()
 	}
-	return nil
+	if e.spillDir != "" {
+		fsys := e.fs
+		if fsys == nil {
+			fsys = fault.OS
+		}
+		if _, serr := relational.SweepOrphans(fsys, e.spillDir); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // ViewSplits builds the train/validation/test datasets for a feature view,
@@ -325,8 +368,11 @@ func Run(e *Env, v ml.View, spec Spec, seed uint64) (Result, error) {
 }
 
 // RunOmit is Run with extra dimension omissions (the Table 4 robustness
-// sweep drops dimension tables one and two at a time).
-func RunOmit(e *Env, v ml.View, omitDims map[string]bool, spec Spec, seed uint64) (Result, error) {
+// sweep drops dimension tables one and two at a time). A corrupt spilled
+// segment surfaces as a returned *relational.CorruptSegmentError, never as
+// silently wrong training data.
+func RunOmit(e *Env, v ml.View, omitDims map[string]bool, spec Spec, seed uint64) (res Result, err error) {
+	defer recoverCorrupt(&err)
 	train, val, test, err := e.ViewSplits(v, omitDims)
 	if err != nil {
 		return Result{}, err

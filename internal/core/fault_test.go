@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/relational"
+)
+
+// segEnvWithFaults builds a spilled segmented env whose pager runs over the
+// given injector, restoring SegmentDefaults on cleanup.
+func segEnvWithFaults(t *testing.T, fsys fault.FS) (*Env, string) {
+	t.Helper()
+	spec, err := dataset.SpecByName("Flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := dataset.Generate(spec, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	old := SegmentDefaults
+	SegmentDefaults = relational.SegmentOptions{
+		SegmentSize: 128,
+		SpillDir:    dir,
+		CacheBytes:  1, // evict on every release: every read faults in from disk
+		FS:          fsys,
+	}
+	t.Cleanup(func() { SegmentDefaults = old })
+	env, err := NewEnvEngine(ss, 7, EngineSegmented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, dir
+}
+
+// TestFaultInjectedTrainingTypedError is the chaos contract for out-of-core
+// training: with the spill path failing reads, BuildArtifact must return a
+// typed *relational.CorruptSegmentError — never panic through the API, never
+// train on wrong bytes — and the env must still close cleanly, sweeping its
+// spill directory.
+func TestFaultInjectedTrainingTypedError(t *testing.T) {
+	inj := fault.NewInjector(fault.OS, 1,
+		fault.Rule{Op: fault.OpRead, Kind: fault.KindEIO, Every: 1})
+	env, dir := segEnvWithFaults(t, inj)
+
+	spec := NaiveBayesBFSSpec()
+	m, _, err := BuildArtifact(env, spec, 7, nil)
+	if err == nil {
+		// The faults never bit (all reads served from cache): the artifact
+		// must then be a clean, complete model — but with CacheBytes 1 and
+		// EIO on every pread that would mean the training never touched disk,
+		// which the injector disproves.
+		t.Fatalf("training succeeded despite EIO on every pread (model %v, fired %s)", m, inj.FiredString())
+	}
+	var cse *relational.CorruptSegmentError
+	if !errors.As(err, &cse) {
+		t.Fatalf("training error %v (%T), want *relational.CorruptSegmentError", err, err)
+	}
+	if cse.Table == "" || cse.Err == nil {
+		t.Fatalf("corruption error incomplete: %+v", cse)
+	}
+	if !fault.IsDiskFault(cse.Err) {
+		t.Fatalf("underlying error %v is not the injected disk fault", cse.Err)
+	}
+	if inj.FiredTotal() == 0 {
+		t.Fatal("injector never fired")
+	}
+	if err := env.Close(); err != nil {
+		t.Fatalf("closing the faulted env: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after Close: %v", ents)
+	}
+}
+
+// TestEvalArtifactRecoversCorruption: the read-only entry point converts the
+// same storage panic into a typed error too.
+func TestEvalArtifactRecoversCorruption(t *testing.T) {
+	// Train cleanly first (no faults) to get a valid artifact.
+	cleanEnv, _ := segEnvWithFaults(t, nil)
+	m, _, err := BuildArtifact(cleanEnv, NaiveBayesBFSSpec(), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cleanEnv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := fault.NewInjector(fault.OS, 1,
+		fault.Rule{Op: fault.OpRead, Kind: fault.KindEIO, Every: 1})
+	env, _ := segEnvWithFaults(t, inj)
+	defer env.Close()
+	if _, err := EvalArtifact(env, m); err == nil {
+		t.Fatal("eval succeeded despite EIO on every pread")
+	} else {
+		var cse *relational.CorruptSegmentError
+		if !errors.As(err, &cse) {
+			t.Fatalf("eval error %v (%T), want *relational.CorruptSegmentError", err, err)
+		}
+	}
+}
+
+// TestEnvCloseSweepsOrphans: Env.Close removes segment artifacts a crashed
+// sibling process (or an earlier panicked run) left in the spill directory.
+func TestEnvCloseSweepsOrphans(t *testing.T) {
+	env, dir := segEnvWithFaults(t, nil)
+	for _, name := range []string{"crashed.seg", "crashed.seg.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "unrelated.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "unrelated.txt" {
+		t.Fatalf("after Close the spill dir holds %v, want just unrelated.txt", ents)
+	}
+}
+
+// TestModelDiffAfterFaultedRuns is the byte-identity half of the chaos
+// contract: a training run whose injected faults happen never to fire (or
+// only to add latency) must produce a bit-identical artifact to a fault-free
+// run — fault plumbing alone cannot perturb training.
+func TestModelDiffAfterFaultedRuns(t *testing.T) {
+	cleanEnv, _ := segEnvWithFaults(t, nil)
+	want, _, err := BuildArtifact(cleanEnv, NaiveBayesBFSSpec(), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanEnv.Close()
+
+	inj := fault.NewInjector(fault.OS, 1,
+		fault.Rule{Op: fault.OpRead, Kind: fault.KindLatency, Every: 3})
+	env, _ := segEnvWithFaults(t, inj)
+	defer env.Close()
+	got, _, err := BuildArtifact(env, NaiveBayesBFSSpec(), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.FiredTotal() == 0 {
+		t.Fatal("latency faults never fired — the run proved nothing")
+	}
+	a, b := encodeModel(t, want), encodeModel(t, got)
+	if a != b {
+		t.Fatal("latency-faulted training produced different artifact bytes")
+	}
+}
+
+func encodeModel(t *testing.T, m *model.Model) string {
+	t.Helper()
+	m.Meta = nil
+	var buf bytes.Buffer
+	if err := model.Encode(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,498 @@
+// Package fault provides an injectable filesystem seam for crash-safety
+// testing. Production code paths take a fault.FS (defaulting to fault.OS,
+// a thin passthrough to the os package); tests and the chaos CLI flags
+// wrap it in an Injector that delivers scripted failures — short reads,
+// torn writes, ENOSPC, EIO, added latency — on a deterministic Nth-call,
+// every-Kth-call, or seeded probabilistic schedule.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// File is the subset of *os.File the storage and model layers use.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Closer
+	Sync() error
+	Name() string
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the subset of the os package the storage and model layers use.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Chmod(name string, mode os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OS is the passthrough FS backed by the real os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)             { return os.Open(name) }
+func (osFS) CreateTemp(dir, pat string) (File, error)   { return os.CreateTemp(dir, pat) }
+func (osFS) Rename(o, n string) error                   { return os.Rename(o, n) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Chmod(name string, m os.FileMode) error     { return os.Chmod(name, m) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// Op identifies the I/O operation a Rule matches.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpRename
+	OpClose
+	OpRemove
+)
+
+var opNames = [...]string{"open", "read", "write", "sync", "rename", "close", "remove"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", o)
+}
+
+// Kind is the failure mode a Rule delivers when it fires.
+type Kind uint8
+
+const (
+	// KindEIO fails the call with EIO.
+	KindEIO Kind = iota
+	// KindENOSPC fails the call with ENOSPC.
+	KindENOSPC
+	// KindShort returns fewer bytes than requested from a read
+	// (with io.ErrUnexpectedEOF, per the io.ReaderAt contract).
+	KindShort
+	// KindTorn writes a prefix of the buffer, then fails with EIO —
+	// the on-disk state is a torn write.
+	KindTorn
+	// KindLatency delays the call by Rule.Delay, then lets it through.
+	KindLatency
+)
+
+var kindNames = [...]string{"eio", "enospc", "short", "torn", "latency"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Rule schedules one failure mode against one operation. Exactly one of
+// Nth / Every / Prob should be set; an unset schedule (all zero) never
+// fires. Path, when non-empty, restricts the rule to files whose path
+// contains it as a substring.
+type Rule struct {
+	Op    Op
+	Kind  Kind
+	Nth   int           // fire once, on the Nth matching call (1-based)
+	Every int           // fire on every Every-th matching call
+	Prob  float64       // fire each matching call with this probability
+	Path  string        // substring filter on the file path ("" = all)
+	Delay time.Duration // KindLatency only; defaults to 1ms
+}
+
+type armedRule struct {
+	Rule
+	calls int // matching calls seen so far (under Injector.mu)
+}
+
+// Injector wraps an FS and applies scripted Rules. The zero schedule is
+// deterministic: given the same seed and the same sequence of calls, the
+// same faults fire. Safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*armedRule
+	fired map[string]uint64 // "op:kind" → count
+}
+
+// NewInjector wraps inner with the given rules. The seed drives
+// probabilistic rules only; Nth/Every rules are schedule-exact.
+func NewInjector(inner FS, seed int64, rules ...Rule) *Injector {
+	inj := &Injector{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		fired: make(map[string]uint64),
+	}
+	for _, r := range rules {
+		if r.Kind == KindLatency && r.Delay == 0 {
+			r.Delay = time.Millisecond
+		}
+		inj.rules = append(inj.rules, &armedRule{Rule: r})
+	}
+	return inj
+}
+
+// Fired reports how many faults have fired, keyed by "op:kind".
+func (in *Injector) Fired() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// FiredTotal reports the total number of faults that have fired.
+func (in *Injector) FiredTotal() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n uint64
+	for _, v := range in.fired {
+		n += v
+	}
+	return n
+}
+
+// FiredString renders the fired-fault counts as a stable one-line summary.
+func (in *Injector) FiredString() string {
+	m := in.Fired()
+	if len(m) == 0 {
+		return "none"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// hit decides whether any rule fires for (op, path) and returns it.
+func (in *Injector) hit(op Op, path string) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.calls++
+		fire := false
+		switch {
+		case r.Nth > 0:
+			fire = r.calls == r.Nth
+		case r.Every > 0:
+			fire = r.calls%r.Every == 0
+		case r.Prob > 0:
+			fire = in.rng.Float64() < r.Prob
+		}
+		if fire {
+			in.fired[r.Op.String()+":"+r.Kind.String()]++
+			rc := r.Rule
+			return &rc
+		}
+	}
+	return nil
+}
+
+func pathErr(op, path string, errno syscall.Errno) error {
+	return &os.PathError{Op: op, Path: path, Err: errno}
+}
+
+// errFor converts a fired rule into the error the call should return.
+// KindLatency sleeps and returns nil (the call proceeds).
+func errFor(r *Rule, op, path string) error {
+	switch r.Kind {
+	case KindENOSPC:
+		return pathErr(op, path, syscall.ENOSPC)
+	case KindLatency:
+		time.Sleep(r.Delay)
+		return nil
+	default:
+		return pathErr(op, path, syscall.EIO)
+	}
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if r := in.hit(OpOpen, name); r != nil {
+		if err := errFor(r, "open", name); err != nil {
+			return nil, err
+		}
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if r := in.hit(OpOpen, name); r != nil {
+		if err := errFor(r, "open", name); err != nil {
+			return nil, err
+		}
+	}
+	f, err := in.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if r := in.hit(OpOpen, dir); r != nil {
+		if err := errFor(r, "open", dir); err != nil {
+			return nil, err
+		}
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if r := in.hit(OpRename, newpath); r != nil {
+		if err := errFor(r, "rename", newpath); err != nil {
+			return err
+		}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if r := in.hit(OpRemove, name); r != nil {
+		if err := errFor(r, "remove", name); err != nil {
+			return err
+		}
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) Chmod(name string, mode os.FileMode) error {
+	return in.inner.Chmod(name, mode)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	return in.inner.ReadDir(name)
+}
+
+// injFile applies read/write/sync/close rules to one open file.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) readFault(p []byte, read func([]byte) (int, error)) (int, error) {
+	r := f.in.hit(OpRead, f.Name())
+	if r == nil {
+		return read(p)
+	}
+	switch r.Kind {
+	case KindShort:
+		if len(p) <= 1 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		n, err := read(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrUnexpectedEOF
+	case KindLatency:
+		time.Sleep(r.Delay)
+		return read(p)
+	default:
+		if err := errFor(r, "read", f.Name()); err != nil {
+			return 0, err
+		}
+		return read(p)
+	}
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	return f.readFault(p, f.File.Read)
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	return f.readFault(p, func(q []byte) (int, error) { return f.File.ReadAt(q, off) })
+}
+
+func (f *injFile) writeFault(p []byte, write func([]byte) (int, error)) (int, error) {
+	r := f.in.hit(OpWrite, f.Name())
+	if r == nil {
+		return write(p)
+	}
+	switch r.Kind {
+	case KindTorn:
+		n := 0
+		if len(p) > 1 {
+			n, _ = write(p[:len(p)/2])
+		}
+		return n, pathErr("write", f.Name(), syscall.EIO)
+	case KindLatency:
+		time.Sleep(r.Delay)
+		return write(p)
+	default:
+		if err := errFor(r, "write", f.Name()); err != nil {
+			return 0, err
+		}
+		return write(p)
+	}
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	return f.writeFault(p, f.File.Write)
+}
+
+func (f *injFile) WriteAt(p []byte, off int64) (int, error) {
+	return f.writeFault(p, func(q []byte) (int, error) { return f.File.WriteAt(q, off) })
+}
+
+func (f *injFile) Sync() error {
+	if r := f.in.hit(OpSync, f.Name()); r != nil {
+		if err := errFor(r, "sync", f.Name()); err != nil {
+			return err
+		}
+	}
+	return f.File.Sync()
+}
+
+func (f *injFile) Close() error {
+	if r := f.in.hit(OpClose, f.Name()); r != nil {
+		if err := errFor(r, "close", f.Name()); err != nil {
+			f.File.Close() // release the descriptor regardless
+			return err
+		}
+	}
+	return f.File.Close()
+}
+
+// ParseSpec parses a comma-separated fault schedule of the form
+//
+//	op:kind[:key=value[:key=value...]]
+//
+// where op ∈ {open,read,write,sync,rename,close,remove}, kind ∈
+// {eio,enospc,short,torn,latency}, and keys are nth=N, every=K,
+// prob=P, path=SUBSTR, delay=DUR. Example:
+//
+//	read:eio:nth=4,write:enospc:every=9,read:short:prob=0.05
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: rule %q: want op:kind[:key=value...]", part)
+		}
+		var r Rule
+		op, err := parseOp(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: %w", part, err)
+		}
+		r.Op = op
+		kind, err := parseKind(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault: rule %q: %w", part, err)
+		}
+		r.Kind = kind
+		scheduled := false
+		for _, kv := range fields[2:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: rule %q: bad key=value %q", part, kv)
+			}
+			switch key {
+			case "nth":
+				r.Nth, err = strconv.Atoi(val)
+				scheduled = true
+			case "every":
+				r.Every, err = strconv.Atoi(val)
+				scheduled = true
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+				scheduled = true
+			case "path":
+				r.Path = val
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			default:
+				return nil, fmt.Errorf("fault: rule %q: unknown key %q", part, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: rule %q: %s: %w", part, key, err)
+			}
+		}
+		if !scheduled {
+			r.Nth = 1 // bare op:kind fires on the first matching call
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if s == n {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op %q", s)
+}
+
+func parseKind(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if s == n {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+// IsDiskFault reports whether err looks like an injected or real disk-level
+// failure (EIO/ENOSPC/short read) as opposed to a logic error.
+func IsDiskFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *fs.PathError
+	if errors.As(err, &pe) {
+		return pe.Err == syscall.EIO || pe.Err == syscall.ENOSPC
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF)
+}

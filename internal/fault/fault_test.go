@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeTemp(t *testing.T, fsys FS, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob.bin")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return path
+}
+
+func TestOSPassthrough(t *testing.T) {
+	path := writeTemp(t, OS, []byte("hello world"))
+	f, err := OS.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatalf("readat: %v", err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestNthReadEIO(t *testing.T) {
+	inj := NewInjector(OS, 1, Rule{Op: OpRead, Kind: KindEIO, Nth: 2})
+	path := writeTemp(t, inj, []byte("0123456789"))
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 1 should pass: %v", err)
+	}
+	_, err = f.ReadAt(buf, 0)
+	var pe *os.PathError
+	if !errors.As(err, &pe) || pe.Err != syscall.EIO {
+		t.Fatalf("read 2 want EIO, got %v", err)
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 3 should pass: %v", err)
+	}
+	if got := inj.FiredTotal(); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+	if inj.Fired()["read:eio"] != 1 {
+		t.Fatalf("fired map = %v", inj.Fired())
+	}
+}
+
+func TestEveryWriteENOSPC(t *testing.T) {
+	inj := NewInjector(OS, 1, Rule{Op: OpWrite, Kind: KindENOSPC, Every: 3})
+	path := filepath.Join(t.TempDir(), "w.bin")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	var failures int
+	for i := 0; i < 9; i++ {
+		if _, err := f.WriteAt([]byte("x"), int64(i)); err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("want ENOSPC, got %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	inj := NewInjector(OS, 1, Rule{Op: OpRead, Kind: KindShort, Nth: 1})
+	path := writeTemp(t, inj, []byte("0123456789abcdef"))
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	n, err := f.ReadAt(buf, 0)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got n=%d err=%v", n, err)
+	}
+	if n >= len(buf) {
+		t.Fatalf("short read returned %d of %d bytes", n, len(buf))
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	inj := NewInjector(OS, 1, Rule{Op: OpWrite, Kind: KindTorn, Nth: 1})
+	path := filepath.Join(t.TempDir(), "torn.bin")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.WriteAt(payload, 0)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if n == 0 || n >= len(payload) {
+		t.Fatalf("torn write wrote %d of %d bytes; want a strict prefix", n, len(payload))
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("on-disk %d bytes, write reported %d", len(got), n)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	run := func() uint64 {
+		inj := NewInjector(OS, 42, Rule{Op: OpRead, Kind: KindEIO, Prob: 0.3})
+		path := writeTemp(t, inj, make([]byte, 64))
+		f, err := inj.Open(path)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer f.Close()
+		buf := make([]byte, 4)
+		for i := 0; i < 100; i++ {
+			f.ReadAt(buf, 0)
+		}
+		return inj.FiredTotal()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("prob=0.3 fired %d/100 times", a)
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	inj := NewInjector(OS, 1, Rule{Op: OpRead, Kind: KindEIO, Every: 1, Path: "target"})
+	dir := t.TempDir()
+	for _, name := range []string{"target.bin", "other.bin"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 4)
+	f, _ := inj.Open(filepath.Join(dir, "other.bin"))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("other.bin should pass: %v", err)
+	}
+	f.Close()
+	f, _ = inj.Open(filepath.Join(dir, "target.bin"))
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("target.bin want EIO, got %v", err)
+	}
+	f.Close()
+}
+
+func TestLatency(t *testing.T) {
+	inj := NewInjector(OS, 1, Rule{Op: OpSync, Kind: KindLatency, Every: 1, Delay: 20 * time.Millisecond})
+	path := filepath.Join(t.TempDir(), "slow.bin")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("sync returned in %v; want injected ~20ms latency", d)
+	}
+}
+
+func TestRenameAndSyncFaults(t *testing.T) {
+	inj := NewInjector(OS, 1,
+		Rule{Op: OpRename, Kind: KindEIO, Nth: 1},
+		Rule{Op: OpSync, Kind: KindEIO, Nth: 1},
+	)
+	path := writeTemp(t, inj, []byte("x"))
+	if err := inj.Rename(path, path+".new"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename want EIO, got %v", err)
+	}
+	// The failed rename must not have moved the file.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("source vanished after failed rename: %v", err)
+	}
+	f, err := inj.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync want EIO, got %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("read:eio:nth=4, write:enospc:every=9,read:short:prob=0.05,sync:latency:delay=5ms:path=spill,open:torn")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	want := []Rule{
+		{Op: OpRead, Kind: KindEIO, Nth: 4},
+		{Op: OpWrite, Kind: KindENOSPC, Every: 9},
+		{Op: OpRead, Kind: KindShort, Prob: 0.05},
+		{Op: OpSync, Kind: KindLatency, Delay: 5 * time.Millisecond, Path: "spill", Nth: 1},
+		{Op: OpOpen, Kind: KindTorn, Nth: 1}, // bare rule defaults to nth=1
+	}
+	for i, w := range want {
+		if rules[i] != w {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], w)
+		}
+	}
+	for _, bad := range []string{"read", "read:bogus", "bogus:eio", "read:eio:nth", "read:eio:nth=x", "read:eio:zz=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+	if rules, err := ParseSpec(""); err != nil || len(rules) != 0 {
+		t.Fatalf("empty spec: %v %v", rules, err)
+	}
+}
+
+func TestIsDiskFault(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{pathErr("read", "x", syscall.EIO), true},
+		{pathErr("write", "x", syscall.ENOSPC), true},
+		{io.ErrUnexpectedEOF, true},
+		{errors.New("logic bug"), false},
+		{os.ErrNotExist, false},
+	}
+	for _, c := range cases {
+		if got := IsDiskFault(c.err); got != c.want {
+			t.Fatalf("IsDiskFault(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -70,10 +70,23 @@ func parallelFor(n int, fn func(i int)) {
 	defer activeFanouts.Add(-1)
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// A panic inside a worker goroutine would crash the process before the
+	// caller's recover could see it (storage corruption surfaces as a typed
+	// panic from segment faults). Capture the first one — value untouched, so
+	// errors.As still matches — and re-throw it on the calling goroutine once
+	// every worker has drained.
+	var panicOnce sync.Once
+	var panicked any
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					next.Store(int64(n)) // stop other workers claiming new work
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -84,4 +97,7 @@ func parallelFor(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

@@ -19,9 +19,9 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/ml"
 )
 
@@ -154,31 +154,51 @@ func (m *Model) CheckFeatures(features []ml.Feature) error {
 	return e
 }
 
-// Save encodes the model to a file (0644). The write goes through a
-// temporary sibling and rename so a crashed save never leaves a truncated
-// artifact at the target path.
+// Save encodes the model to a file (0644) atomically and durably: the bytes
+// go to a temporary sibling, which is fsynced, then renamed over the target
+// path. A crash or I/O error at any step leaves either the old artifact or
+// none — never a truncated one — and the temp file is removed on every
+// error path.
 func Save(path string, m *Model) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".model-*")
+	return SaveFS(fault.OS, path, m)
+}
+
+// SaveFS is Save over an injectable filesystem; the fault tests script
+// torn writes, ENOSPC, and sync failures through it.
+func SaveFS(fsys fault.FS, path string, m *Model) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".model-*")
 	if err != nil {
 		return fmt.Errorf("model: save: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if err := Encode(tmp, m); err != nil {
+		tmp.Close()
+		return fmt.Errorf("model: save %s: %w", path, err)
+	}
+	// Sync before rename: rename is atomic on POSIX filesystems, but without
+	// the fsync a crash shortly after could publish a zero-length or partial
+	// artifact under the final name.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return fmt.Errorf("model: save %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("model: save %s: %w", path, err)
 	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+	if err := fsys.Chmod(tmp.Name(), 0o644); err != nil {
 		return fmt.Errorf("model: save %s: %w", path, err)
 	}
-	return os.Rename(tmp.Name(), path)
+	return fsys.Rename(tmp.Name(), path)
 }
 
 // Load decodes a model from a file.
 func Load(path string) (*Model, error) {
-	f, err := os.Open(path)
+	return LoadFS(fault.OS, path)
+}
+
+// LoadFS is Load over an injectable filesystem.
+func LoadFS(fsys fault.FS, path string) (*Model, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("model: load: %w", err)
 	}

@@ -1,0 +1,136 @@
+package relational
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// FsckIssue is one problem found while verifying a heap file.
+type FsckIssue struct {
+	File   string
+	Offset int64 // byte offset of the bad blob; -1 for file-level problems
+	Err    error
+}
+
+func (i FsckIssue) String() string {
+	if i.Offset < 0 {
+		return fmt.Sprintf("%s: %v", i.File, i.Err)
+	}
+	return fmt.Sprintf("%s @ %d: %v", i.File, i.Offset, i.Err)
+}
+
+// FsckReport summarizes a heap-file verification pass.
+type FsckReport struct {
+	Files    int   // heap files visited
+	Segments int   // blobs that verified clean
+	Bytes    int64 // payload bytes verified
+	Issues   []FsckIssue
+}
+
+// OK reports whether the walk found no problems.
+func (r *FsckReport) OK() bool { return len(r.Issues) == 0 }
+
+// FsckDir walks every *.seg heap file in dir and verifies each segment blob:
+// magic, format version, payload length, CRC32C, and column structure. It is
+// the offline counterpart of the fault-in verification the pager does on
+// every read — `hamlet -fsck <spilldir>` exposes it on the CLI. Temp files
+// left behind by a crashed run (*.seg.tmp) are reported as issues too.
+func FsckDir(fsys fault.FS, dir string) (*FsckReport, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("relational: fsck: %w", err)
+	}
+	rep := &FsckReport{}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		path := dir + "/" + name
+		if strings.HasSuffix(name, segFileSuffix+".tmp") {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: -1,
+				Err: fmt.Errorf("orphaned temp file (crashed run?)")})
+			continue
+		}
+		if !strings.HasSuffix(name, segFileSuffix) {
+			continue
+		}
+		rep.Files++
+		if err := fsckFile(fsys, path, rep); err != nil {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: -1, Err: err})
+		}
+	}
+	return rep, nil
+}
+
+// fsckFile walks one heap file blob by blob. Blobs start on page boundaries
+// and carry their payload length in the header, so the walk needs no table
+// metadata. A bad header stops the walk of that file — without a trustworthy
+// length there is no reliable way to find the next blob.
+func fsckFile(fsys fault.FS, path string, rep *FsckReport) error {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	hdr := make([]byte, segHeaderLen)
+	var blob []byte
+	for off := int64(0); off < size; {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: off,
+				Err: fmt.Errorf("header read: %w", err)})
+			return nil
+		}
+		// Validate the header shape first (magic/version/length) so a
+		// corrupt length cannot drive a huge allocation or a wild walk.
+		plen, err := parseSegmentHeader(hdr)
+		if err != nil {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: off, Err: err})
+			return nil
+		}
+		if off+segHeaderLen+int64(plen) > size {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: off,
+				Err: fmt.Errorf("payload length %d does not fit file of %d bytes (torn write?)", plen, size)})
+			return nil
+		}
+		blobLen := segHeaderLen + plen
+		if cap(blob) < blobLen {
+			blob = make([]byte, blobLen)
+		}
+		blob = blob[:blobLen]
+		if _, err := f.ReadAt(blob, off); err != nil {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: off,
+				Err: fmt.Errorf("blob read: %w", err)})
+			return nil
+		}
+		if _, err := decodeSegment(blob, -1, -1); err != nil {
+			rep.Issues = append(rep.Issues, FsckIssue{File: path, Offset: off, Err: err})
+		} else {
+			rep.Segments++
+			rep.Bytes += int64(plen)
+		}
+		pages := (int64(blobLen) + pageSize - 1) / pageSize
+		off += pages * pageSize
+	}
+	return nil
+}
+
+// WriteFsckReport renders the report in the `hamlet -fsck` output format.
+func WriteFsckReport(w io.Writer, rep *FsckReport) {
+	fmt.Fprintf(w, "fsck: %d file(s), %d segment(s), %d payload byte(s) verified\n",
+		rep.Files, rep.Segments, rep.Bytes)
+	for _, issue := range rep.Issues {
+		fmt.Fprintf(w, "fsck: CORRUPT %s\n", issue)
+	}
+	if rep.OK() {
+		fmt.Fprintln(w, "fsck: clean")
+	}
+}

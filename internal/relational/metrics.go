@@ -38,4 +38,9 @@ var (
 	// actually scanned.
 	ZoneSegmentsScanned = obs.Default.NewCounter(`hamlet_zonemap_segments_total{outcome="scanned"}`,
 		"segments scanned after zone-map pruning in equality scans")
+	// StorageCorruptionDetected counts segment reads that failed the
+	// checksum/decode or the pread itself — every one of these surfaced as a
+	// CorruptSegmentError, never as silent wrong bytes.
+	StorageCorruptionDetected = obs.Default.NewCounter("hamlet_storage_corruption_detected_total",
+		"heap-file segment reads rejected as corrupt (checksum, decode, or I/O failure)")
 )

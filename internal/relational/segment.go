@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // DefaultSegmentSize is the rows-per-segment default. 32768 rows keeps a
@@ -27,6 +29,10 @@ type SegmentOptions struct {
 	// CacheBytes bounds the resident sealed-segment bytes when spilling.
 	// <= 0 means segments are written to disk but never evicted.
 	CacheBytes int64
+	// FS is the filesystem the out-of-core tier writes through. Nil means
+	// the real filesystem (fault.OS); tests and the chaos CLI flags pass a
+	// fault.Injector to script heap-file failures.
+	FS fault.FS
 }
 
 // segment is one immutable columnar chunk of a SegmentedTable: the same
@@ -130,7 +136,11 @@ func NewSegmentedTable(name string, schema *Schema, opts SegmentOptions) (*Segme
 		t.colHi[j] = -1
 	}
 	if opts.SpillDir != "" {
-		p, err := NewPager(opts.SpillDir, name)
+		fsys := opts.FS
+		if fsys == nil {
+			fsys = fault.OS
+		}
+		p, err := NewPagerFS(fsys, opts.SpillDir, name)
 		if err != nil {
 			return nil, err
 		}
@@ -301,8 +311,11 @@ func (t *SegmentedTable) evictLocked() {
 // fault pages entry e back in and returns it pinned. The heap-file read runs
 // under the table mutex, serializing concurrent faults — the simple regime
 // for a cache whose point is correctness under memory pressure, not disk
-// throughput.
-func (t *SegmentedTable) fault(e *segEntry) *segment {
+// throughput. A read or decode failure (I/O error, torn blob, checksum
+// mismatch) panics with a typed *CorruptSegmentError — the Relation read
+// methods have no error return — which the core layer recovers at its
+// training and eval entry points; silent wrong bytes are never served.
+func (t *SegmentedTable) fault(si int, e *segEntry) *segment {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if s := e.data.Load(); s != nil { // raced with another fault
@@ -313,11 +326,13 @@ func (t *SegmentedTable) fault(e *segEntry) *segment {
 	}
 	blob, err := t.pager.readBlob(e.off, e.blobLen)
 	if err != nil {
-		panic(fmt.Sprintf("relational: segmented table %q: %v", t.Name, err))
+		StorageCorruptionDetected.Inc()
+		panic(&CorruptSegmentError{Table: t.Name, Segment: si, Offset: e.off, Err: err})
 	}
 	s, err := decodeSegment(blob, t.segSize, t.schema.Width())
 	if err != nil {
-		panic(fmt.Sprintf("relational: segmented table %q: %v", t.Name, err))
+		StorageCorruptionDetected.Inc()
+		panic(&CorruptSegmentError{Table: t.Name, Segment: si, Offset: e.off, Err: err})
 	}
 	e.pins.Add(1)
 	e.lastUse.Store(t.tick.Add(1))
@@ -348,7 +363,7 @@ func (t *SegmentedTable) acquire(si int) *segment {
 		return s
 	}
 	e.pins.Add(-1)
-	return t.fault(e)
+	return t.fault(si, e)
 }
 
 // locate maps a row to its (segment, offset) pair — shift/mask when the
@@ -586,6 +601,14 @@ func MaterializeSegmented(r Relation, name string, opts SegmentOptions) (*Segmen
 	if err != nil {
 		return nil, err
 	}
+	// A panic while draining the source (domain violation, or corruption
+	// faulted in from the source relation) must not strand the heap file.
+	defer func() {
+		if r := recover(); r != nil {
+			out.Close()
+			panic(r)
+		}
+	}()
 	schema := r.Schema()
 	w := schema.Width()
 	n := r.NumRows()
@@ -598,6 +621,7 @@ func MaterializeSegmented(r Relation, name string, opts SegmentOptions) (*Segmen
 		for i := 0; i < n; i++ {
 			r.CopyRow(row, i)
 			if err := out.AppendRow(row); err != nil {
+				out.Close() // remove the partly-written heap file
 				return nil, err
 			}
 		}
@@ -633,6 +657,7 @@ func MaterializeSegmented(r Relation, name string, opts SegmentOptions) (*Segmen
 		out.n += m
 		if m == out.segSize {
 			if err := out.seal(); err != nil {
+				out.Close() // remove the partly-written heap file
 				return nil, err
 			}
 		}

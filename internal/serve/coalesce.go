@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -167,6 +168,20 @@ func (c *Coalescer) putBatch(b *cbatch) {
 // snap.Engine.Predict: same classes and scores, same validation errors, and
 // always from snap's engine regardless of hot-swaps racing this call.
 func (c *Coalescer) Predict(snap *Snapshot, req []relational.Value) (Prediction, error) {
+	return c.PredictCtx(context.Background(), snap, req)
+}
+
+// PredictCtx is Predict with per-request deadline propagation. A waiter
+// whose context expires while its batch is in flight abandons its slot and
+// returns ctx.Err(): its request still gets scored with the batch (the
+// flusher owns the shared reqs slice and is never interrupted), but nobody
+// waits for the result. The abandoner decrements the reader count like a
+// normal waiter; the batch is recycled only when the flush is observably
+// complete, so an abandonment can never hand a batch back to the pool while
+// the flusher is still writing into it — at worst the batch is dropped for
+// the GC instead of reused. A background context costs one nil check over
+// Predict.
+func (c *Coalescer) PredictCtx(ctx context.Context, snap *Snapshot, req []relational.Value) (Prediction, error) {
 	e := snap.Engine
 	if c.cfg.Window <= 0 || !e.BatchServeable() {
 		c.direct.Add(1)
@@ -223,7 +238,25 @@ func (c *Coalescer) Predict(snap *Snapshot, req []relational.Value) (Prediction,
 		}
 		c.flush(b)
 	}
-	<-b.done
+	if done := ctx.Done(); done == nil {
+		<-b.done
+	} else {
+		select {
+		case <-b.done:
+		case <-done:
+			if b.readers.Add(-1) == 0 {
+				select {
+				case <-b.done:
+					// Flush already completed; safe to recycle.
+					c.putBatch(b)
+				default:
+					// The flusher still owns the batch (it will close done
+					// after writing preds). Leave it for the GC.
+				}
+			}
+			return Prediction{}, ctx.Err()
+		}
+	}
 	pred, err := b.preds[idx], b.err
 	if b.readers.Add(-1) == 0 {
 		c.putBatch(b)

@@ -45,9 +45,21 @@ type Server struct {
 	maxBatch int
 	start    time.Time
 
+	// gate is the bounded in-flight admission semaphore for the predict
+	// endpoints: acquire is a non-blocking channel send, so a full server
+	// sheds with 429 + Retry-After instead of queueing without bound. Nil
+	// means unlimited.
+	gate chan struct{}
+	// chaosEvery > 0 panics every Nth admitted predict request — the CI
+	// chaos job's way of proving the recovery middleware turns handler
+	// panics into structured 500s under load.
+	chaosEvery int64
+	chaosTick  atomic.Int64
+
 	examples atomic.Int64
 	batchMax atomic.Int64
 	mux      *http.ServeMux
+	root     http.Handler
 	scratch  sync.Pool
 	m        *Metrics
 }
@@ -59,11 +71,22 @@ type ServerConfig struct {
 	// MaxBatchLen caps /predict_batch input count; longer batches get 413
 	// as soon as the limit is crossed mid-stream.
 	MaxBatchLen int
+	// MaxInflight bounds concurrently admitted /predict + /predict_batch
+	// requests; excess load sheds with 429 + Retry-After. 0 means the
+	// default (1024); negative disables admission control.
+	MaxInflight int
+	// ChaosPanicEvery, when positive, panics every Nth admitted predict
+	// request. Test/CI only — it proves panic recovery under load.
+	ChaosPanicEvery int
 }
 
-// DefaultServerConfig allows bodies to 8 MiB and batches to 4096 inputs.
+// DefaultMaxInflight bounds admitted predict requests when MaxInflight is 0.
+const DefaultMaxInflight = 1024
+
+// DefaultServerConfig allows bodies to 8 MiB, batches to 4096 inputs, and
+// 1024 in-flight predict requests.
 func DefaultServerConfig() ServerConfig {
-	return ServerConfig{MaxBodyBytes: 8 << 20, MaxBatchLen: 4096}
+	return ServerConfig{MaxBodyBytes: 8 << 20, MaxBatchLen: 4096, MaxInflight: DefaultMaxInflight}
 }
 
 // hscratch is one request's pooled working set.
@@ -96,29 +119,124 @@ func NewRegistryServer(reg *Registry, cfg ServerConfig) *Server {
 	if cfg.MaxBatchLen <= 0 {
 		cfg.MaxBatchLen = def.MaxBatchLen
 	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
 	s := &Server{
-		reg:      reg,
-		maxBody:  cfg.MaxBodyBytes,
-		maxBatch: cfg.MaxBatchLen,
-		start:    time.Now(),
-		m:        reg.Metrics(),
+		reg:        reg,
+		maxBody:    cfg.MaxBodyBytes,
+		maxBatch:   cfg.MaxBatchLen,
+		chaosEvery: int64(cfg.ChaosPanicEvery),
+		start:      time.Now(),
+		m:          reg.Metrics(),
+	}
+	if cfg.MaxInflight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInflight)
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/predict", s.handlePredict)
-	s.mux.HandleFunc("/predict_batch", s.handlePredictBatch)
+	s.mux.HandleFunc("/predict", s.admit(s.handlePredict))
+	s.mux.HandleFunc("/predict_batch", s.admit(s.handlePredictBatch))
 	s.mux.HandleFunc("/models", s.handleModels)
 	s.mux.HandleFunc("/swap", s.handleSwap)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.root = s.withRecovery(s.mux)
 	return s
 }
 
-// Handler returns the root handler (mountable under httptest or net/http).
-func (s *Server) Handler() http.Handler { return s.mux }
+// admit wraps a predict handler in the bounded in-flight admission gate.
+// Acquire is a non-blocking send into a buffered channel: when the server
+// is already running MaxInflight predict requests, the excess request is
+// shed immediately with 429 + Retry-After instead of joining an unbounded
+// queue — under overload, fast rejection keeps the admitted requests' tail
+// latency sane and gives clients an honest backpressure signal to retry on.
+// The chaos hook panics inside the gated region, so recovery provably
+// releases the slot (the load smoke would deadlock within seconds if not).
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.gate != nil {
+			select {
+			case s.gate <- struct{}{}:
+				defer func() { <-s.gate }()
+			default:
+				s.m.shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				s.fail(w, nil, http.StatusTooManyRequests,
+					"server at capacity (%d requests in flight)", cap(s.gate))
+				return
+			}
+		}
+		if s.chaosEvery > 0 && s.chaosTick.Add(1)%s.chaosEvery == 0 {
+			panic(fmt.Sprintf("chaos: injected handler panic (request %d)", s.chaosTick.Load()))
+		}
+		h(w, r)
+	}
+}
+
+// withRecovery is the outermost middleware: a panicking handler becomes a
+// structured 500 instead of a killed connection, and the panic is counted.
+// http.ErrAbortHandler keeps its net/http meaning (abort silently).
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.m.panics.Inc()
+			// Best effort: if the handler already wrote a header this is a
+			// no-op body append; panics virtually always fire before that.
+			s.fail(w, nil, http.StatusInternalServerError, "internal error: %v", rec)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Handler returns the root handler (mountable under httptest or net/http):
+// the mux wrapped in panic recovery, with admission control on the predict
+// endpoints.
+func (s *Server) Handler() http.Handler { return s.root }
 
 // Registry returns the served registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// ErrShed reports a request rejected by the admission gate on the
+// in-process Predict path (the HTTP path renders it as 429 + Retry-After).
+var ErrShed = errors.New("serve: server at capacity")
+
+// Predict scores one request through the hardened in-process path: the same
+// admission gate and panic-to-error recovery the HTTP predict handlers run
+// behind, plus the slot's coalescer, without HTTP parsing. It is the entry
+// the hardened zero-alloc benchmark drives — the steady-state path must add
+// no allocations over the bare coalescer.
+func (s *Server) Predict(slot *Slot, req []relational.Value) (p Prediction, err error) {
+	if s.gate != nil {
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			s.m.shed.Inc()
+			return Prediction{}, ErrShed
+		}
+	}
+	defer func() {
+		if s.gate != nil {
+			<-s.gate
+		}
+		if rec := recover(); rec != nil {
+			s.m.panics.Inc()
+			err = fmt.Errorf("serve: recovered panic: %v", rec)
+		}
+	}()
+	snap := slot.Snapshot()
+	if snap.Engine.Factorized() {
+		return snap.Engine.PredictFactorized(req)
+	}
+	return slot.Coalescer().Predict(snap, req)
+}
 
 // Engine returns the default slot's live engine.
 func (s *Server) Engine() *Engine {
@@ -299,9 +417,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	default:
 		// Default path for non-factorized engines: through the coalescer,
 		// which micro-batches concurrent callers when the engine benefits.
-		p, err = slot.Coalescer().Predict(snap, sc.req)
+		// The request context rides along: a waiter whose client gave up
+		// abandons its batch slot instead of blocking a dead connection.
+		p, err = slot.Coalescer().PredictCtx(r.Context(), snap, sc.req)
 	}
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone or out of time; 503 documents the abort in
+			// the error counters (the body rarely reaches anyone).
+			s.fail(w, sc, http.StatusServiceUnavailable, "request abandoned: %v", err)
+			return
+		}
 		s.fail(w, sc, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -647,6 +773,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"history":     history,
 		"swaps":       s.m.swaps.Value(),
 		"rollbacks":   s.m.rollbacks.Value(),
+		"robustness": map[string]uint64{
+			"requests_shed":       s.m.shed.Value(),
+			"panics_recovered":    s.m.panics.Value(),
+			"corruption_detected": relational.StorageCorruptionDetected.Value(),
+		},
 		"segcache": map[string]uint64{
 			"hits":          relational.SegCacheHits.Value(),
 			"misses":        relational.SegCacheMisses.Value(),

@@ -26,7 +26,12 @@ type Metrics struct {
 
 	// Structured errors by HTTP status — the codes fail() actually emits,
 	// resolved by switch, never by map.
-	err400, err404, err405, err409, err413, errOther *obs.Counter
+	err400, err404, err405, err409, err413, err429, err500, errOther *obs.Counter
+
+	// Robustness events: requests shed by the admission gate (every one also
+	// counted under err429) and handler panics converted to structured 500s.
+	shed   *obs.Counter
+	panics *obs.Counter
 
 	// Per-endpoint request latency, total plus decode/score/encode phases.
 	// Queue wait (coalescer residency) is observed separately per batch.
@@ -61,7 +66,14 @@ func newMetrics() *Metrics {
 		err405:   c(`hamlet_http_errors_total{code="405"}`, "structured errors by HTTP status"),
 		err409:   c(`hamlet_http_errors_total{code="409"}`, "structured errors by HTTP status"),
 		err413:   c(`hamlet_http_errors_total{code="413"}`, "structured errors by HTTP status"),
+		err429:   c(`hamlet_http_errors_total{code="429"}`, "structured errors by HTTP status"),
+		err500:   c(`hamlet_http_errors_total{code="500"}`, "structured errors by HTTP status"),
 		errOther: c(`hamlet_http_errors_total{code="other"}`, "structured errors by HTTP status"),
+
+		shed: c("hamlet_requests_shed_total",
+			"requests rejected 429 by the bounded in-flight admission gate"),
+		panics: c("hamlet_panics_recovered_total",
+			"handler panics recovered into structured 500 responses"),
 
 		predictTotal:  h(`hamlet_http_request_ns{endpoint="predict"}`, "request wall time, nanoseconds"),
 		predictDecode: h(`hamlet_http_phase_ns{endpoint="predict",phase="decode"}`, "read body + JSON parse + input layout"),
@@ -97,7 +109,8 @@ func (m *Metrics) requestsTotal() uint64 {
 
 func (m *Metrics) errorsTotal() uint64 {
 	return m.err400.Value() + m.err404.Value() + m.err405.Value() +
-		m.err409.Value() + m.err413.Value() + m.errOther.Value()
+		m.err409.Value() + m.err413.Value() + m.err429.Value() +
+		m.err500.Value() + m.errOther.Value()
 }
 
 // errCounter maps an HTTP status to its structured-error counter.
@@ -113,6 +126,10 @@ func (m *Metrics) errCounter(code int) *obs.Counter {
 		return m.err409
 	case http.StatusRequestEntityTooLarge:
 		return m.err413
+	case http.StatusTooManyRequests:
+		return m.err429
+	case http.StatusInternalServerError:
+		return m.err500
 	default:
 		return m.errOther
 	}
